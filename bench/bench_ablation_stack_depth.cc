@@ -1,0 +1,23 @@
+// Ablation beyond the paper: the call-string bound of Definition 1. The
+// paper fixes context depth at 5; this bench sweeps the bound and reports
+// how many dynamic crash points (and detected bugs) each depth yields.
+// Depth 1 merges contexts (losing e.g. the second YARN-9164 exposure);
+// deeper bounds split them at the cost of more injection runs.
+#include "bench/bench_util.h"
+#include "src/runtime/tracer.h"
+
+int main() {
+  ctbench::PrintHeader("Ablation — call-stack depth bound vs dynamic crash points (mini-YARN)");
+  std::printf("%5s %16s %10s %14s\n", "depth", "dynamic points", "bugs", "test virt h");
+  for (int depth = 1; depth <= 6; ++depth) {
+    ctrt::AccessTracer::Instance().set_stack_depth(depth);
+    ctyarn::YarnSystem yarn;
+    ctcore::CrashTunerDriver driver;
+    ctcore::SystemReport report = driver.Run(yarn);
+    std::printf("%5d %16d %10zu %14.2f%s\n", depth, report.dynamic_crash_points,
+                report.bugs.size(), report.test_virtual_hours,
+                depth == ctrt::CallStack::kMaxDepth ? "   <- paper's bound" : "");
+  }
+  ctrt::AccessTracer::Instance().set_stack_depth(ctrt::CallStack::kMaxDepth);
+  return 0;
+}

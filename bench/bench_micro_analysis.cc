@@ -1,0 +1,97 @@
+// Microbenchmarks (google-benchmark) for the analysis building blocks: the
+// reverse-index pattern matcher, the Definition 2 inference fixpoint, the
+// crash-point scan, and the online stash. These are the components the paper
+// claims are cheap enough for online monitoring (§3.3 / Table 11's sub-5-min
+// analysis column); the microbenchmarks quantify that on this substrate.
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/crash_point_analysis.h"
+#include "src/analysis/log_analysis.h"
+#include "src/analysis/metainfo_inference.h"
+#include "src/common/strings.h"
+#include "src/logging/stash.h"
+#include "src/systems/yarn/yarn_defs.h"
+
+namespace {
+
+const ctyarn::YarnArtifacts& Artifacts() {
+  return ctyarn::GetYarnArtifacts(ctyarn::YarnMode::kTrunk);
+}
+
+void BM_PatternMatch(benchmark::State& state) {
+  ctanalysis::PatternMatcher matcher;
+  const std::string line = "Assigned container container_1550060164_1001_1_3 on host node2:42349";
+  for (auto _ : state) {
+    auto match = matcher.MatchInstance(line);
+    benchmark::DoNotOptimize(match);
+  }
+}
+BENCHMARK(BM_PatternMatch);
+
+void BM_PatternMatchMiss(benchmark::State& state) {
+  ctanalysis::PatternMatcher matcher;
+  const std::string line = "totally unrelated log line with no matching pattern at all";
+  for (auto _ : state) {
+    auto match = matcher.MatchInstance(line);
+    benchmark::DoNotOptimize(match);
+  }
+}
+BENCHMARK(BM_PatternMatchMiss);
+
+void BM_TemplateFormatAndRecover(benchmark::State& state) {
+  const std::string tmpl = "JVM with ID: {} given task: {}";
+  std::vector<std::string> values;
+  for (auto _ : state) {
+    std::string instance = ctcommon::FormatBraces(tmpl, {"jvm_1_m_3", "attempt_1_m_3_0"});
+    bool ok = ctcommon::MatchTemplate(tmpl, instance, &values);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_TemplateFormatAndRecover);
+
+void BM_MetaInfoInference(benchmark::State& state) {
+  const auto& model = Artifacts().model;
+  ctanalysis::MetaInfoInference inference(&model);
+  std::set<std::string> seeds = {
+      "yarn.api.records.NodeId", "yarn.api.records.ContainerId",
+      "yarn.api.records.ApplicationId", "yarn.api.records.ApplicationAttemptId",
+      "mapreduce.v2.api.records.TaskAttemptId"};
+  for (auto _ : state) {
+    auto result = inference.Infer(seeds, {});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::to_string(model.NumTypes()) + " types / " +
+                 std::to_string(model.NumFields()) + " fields");
+}
+BENCHMARK(BM_MetaInfoInference);
+
+void BM_CrashPointScan(benchmark::State& state) {
+  const auto& model = Artifacts().model;
+  ctanalysis::MetaInfoInference inference(&model);
+  auto metainfo = inference.Infer({"yarn.api.records.NodeId", "yarn.api.records.ContainerId"}, {});
+  ctanalysis::CrashPointAnalysis analysis(&model, &metainfo);
+  for (auto _ : state) {
+    auto result = analysis.Identify();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::to_string(model.NumAccessPoints()) + " access points");
+}
+BENCHMARK(BM_CrashPointScan);
+
+void BM_StashProcess(benchmark::State& state) {
+  ctlog::OnlineFilter filter;
+  filter.hosts = {"node1", "node2", "node3", "master"};
+  int64_t i = 0;
+  ctlog::CustomStash stash(filter);
+  for (auto _ : state) {
+    std::string container = "container_" + std::to_string(i++ % 4096);
+    stash.Process({container, "node1:42349"});
+    auto target = stash.Lookup(container);
+    benchmark::DoNotOptimize(target);
+  }
+}
+BENCHMARK(BM_StashProcess);
+
+}  // namespace
+
+BENCHMARK_MAIN();

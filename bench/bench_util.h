@@ -1,0 +1,46 @@
+// Shared helpers for the experiment benches: cached per-system CrashTuner
+// reports (each bench binary reruns the pipeline it needs) and tabular
+// printing that mirrors the paper's table layout.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/baselines.h"
+#include "src/core/crashtuner.h"
+#include "src/core/system_under_test.h"
+#include "src/systems/cassandra/cass_system.h"
+#include "src/systems/hbase/hbase_system.h"
+#include "src/systems/hdfs/hdfs_system.h"
+#include "src/systems/yarn/yarn_system.h"
+#include "src/systems/zookeeper/zk_system.h"
+
+namespace ctbench {
+
+// The five systems of Table 4, in paper order.
+inline std::vector<std::unique_ptr<ctcore::SystemUnderTest>> AllSystems() {
+  std::vector<std::unique_ptr<ctcore::SystemUnderTest>> systems;
+  systems.push_back(std::make_unique<ctyarn::YarnSystem>());
+  systems.push_back(std::make_unique<cthdfs::HdfsSystem>());
+  systems.push_back(std::make_unique<cthbase::HBaseSystem>());
+  systems.push_back(std::make_unique<ctzk::ZkSystem>());
+  systems.push_back(std::make_unique<ctcass::CassSystem>());
+  return systems;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace ctbench
+
+#endif  // BENCH_BENCH_UTIL_H_

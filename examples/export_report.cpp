@@ -1,0 +1,50 @@
+// Export example: run the pipeline on every system and write per-system
+// markdown and JSON reports plus the Fig. 1 meta-info graph in Graphviz DOT.
+//
+//   $ ./build/examples/export_report /tmp/crashtuner-reports
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/analysis/log_analysis.h"
+#include "src/core/crashtuner.h"
+#include "src/core/report_writer.h"
+#include "src/systems/cassandra/cass_system.h"
+#include "src/systems/hbase/hbase_system.h"
+#include "src/systems/hdfs/hdfs_system.h"
+#include "src/systems/yarn/yarn_system.h"
+#include "src/systems/zookeeper/zk_system.h"
+
+namespace {
+
+void Export(const ctcore::SystemUnderTest& system, const std::filesystem::path& directory) {
+  ctcore::CrashTunerDriver driver;
+  ctcore::SystemReport report = driver.Run(system);
+
+  std::string stem = report.system;
+  for (char& c : stem) {
+    if (c == '/' || c == ' ') {
+      c = '_';
+    }
+  }
+  std::ofstream(directory / (stem + ".md")) << ctcore::ReportToMarkdown(report);
+  std::ofstream(directory / (stem + ".json")) << ctcore::ReportToJson(report);
+  std::ofstream(directory / (stem + ".dot"))
+      << ctanalysis::MetaInfoGraphToDot(report.log_result.graph);
+  std::printf("%-14s -> %s.{md,json,dot}  (%zu bugs)\n", report.system.c_str(),
+              (directory / stem).c_str(), report.bugs.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path directory = argc > 1 ? argv[1] : "/tmp/crashtuner-reports";
+  std::filesystem::create_directories(directory);
+
+  Export(ctyarn::YarnSystem(), directory);
+  Export(cthdfs::HdfsSystem(), directory);
+  Export(cthbase::HBaseSystem(), directory);
+  Export(ctzk::ZkSystem(), directory);
+  Export(ctcass::CassSystem(), directory);
+  return 0;
+}

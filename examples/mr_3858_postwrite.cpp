@@ -1,0 +1,47 @@
+// Fig. 3 walkthrough: MR-3858, the canonical post-write crash-recovery bug.
+//
+// The MapReduce commit protocol runs two RPCs: commitPending (the AM records
+// the attempt allowed to commit) and doneCommit. If the task's node crashes
+// in the window between them, the commit slot stays contaminated with the
+// dead attempt; every re-attempt then flunks the commit check, is killed,
+// and the job never finishes (a hang).
+//
+// CrashTuner finds this by crashing the node the *written* value resolves to
+// right after the post-write crash point. Trunk clears the slot on node loss
+// (the fix); the legacy build hangs.
+#include <cstdio>
+
+#include "src/core/crashtuner.h"
+#include "src/systems/yarn/yarn_system.h"
+
+static void ShowCommitInjection(ctyarn::YarnMode mode, const char* label) {
+  ctyarn::YarnSystem yarn(mode);
+  ctcore::CrashTunerDriver driver;
+  ctcore::SystemReport report = driver.Run(yarn);
+  std::printf("--- %s (%s) ---\n", label, yarn.version().c_str());
+  for (const auto& injection : report.injections) {
+    if (injection.location.find("TaskAttemptListener.commitPending") == std::string::npos) {
+      continue;
+    }
+    std::printf("post-write point : %s\n", injection.location.c_str());
+    std::printf("written value    : %s\n", injection.accessed_value.c_str());
+    std::printf("crashed node     : %s (abrupt crash, no wait: Fig. 7's crash RPC)\n",
+                injection.target_node.c_str());
+    std::printf("outcome          : %s (run lasted %llu virtual s)\n",
+                injection.outcome.PrimarySymptom().c_str(),
+                static_cast<unsigned long long>(injection.outcome.virtual_duration_ms / 1000));
+  }
+  for (const auto& bug : report.bugs) {
+    if (bug.bug_id == "MR-3858") {
+      std::printf("triaged as       : MR-3858 — %s\n", bug.symptom.c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+int main() {
+  std::printf("Fig. 3 — the MapReduce commit window\n\n");
+  ShowCommitInjection(ctyarn::YarnMode::kLegacy, "legacy build: bug present");
+  ShowCommitInjection(ctyarn::YarnMode::kTrunk, "trunk build: fixed, same injection tolerated");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "src/analysis/metainfo_inference.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace ctanalysis {
+
+std::map<std::string, std::vector<MetaInfoTypeInfo>> MetaInfoResult::ByGroup() const {
+  std::map<std::string, std::vector<MetaInfoTypeInfo>> out;
+  for (const auto& [name, info] : types) {
+    out[info.group].push_back(info);
+  }
+  for (auto& [group, members] : out) {
+    std::stable_sort(members.begin(), members.end(),
+                     [](const MetaInfoTypeInfo& a, const MetaInfoTypeInfo& b) {
+                       if (a.from_log != b.from_log) {
+                         return a.from_log;
+                       }
+                       return a.name < b.name;
+                     });
+  }
+  return out;
+}
+
+MetaInfoResult MetaInfoInference::Infer(const std::set<std::string>& seed_types,
+                                        const std::set<std::string>& seed_fields) const {
+  MetaInfoResult result;
+  std::deque<std::string> worklist;
+
+  auto add_type = [&](const std::string& name, bool from_log, const std::string& group,
+                      const std::string& via) {
+    const ctmodel::TypeDecl* type = model_->FindType(name);
+    if (type == nullptr || type->is_base) {
+      return;  // Base types are never meta-info types themselves.
+    }
+    auto it = result.types.find(name);
+    if (it != result.types.end()) {
+      // Upgrade provenance if the type is also directly logged.
+      if (from_log && !it->second.from_log) {
+        it->second.from_log = true;
+        it->second.derived_via = "log";
+      }
+      return;
+    }
+    MetaInfoTypeInfo info;
+    info.name = name;
+    info.from_log = from_log;
+    info.group = group.empty() ? name : group;
+    info.derived_via = via;
+    result.types[name] = info;
+    worklist.push_back(name);
+  };
+
+  for (const auto& seed : seed_types) {
+    add_type(seed, /*from_log=*/true, seed, "log");
+  }
+  // Log-identified base-typed fields: the field is meta-info and its
+  // containing class becomes a meta-info type (§3.1.2).
+  for (const auto& field_id : seed_fields) {
+    const ctmodel::FieldDecl* field = model_->FindField(field_id);
+    if (field == nullptr) {
+      continue;
+    }
+    result.fields.insert(field_id);
+    add_type(field->clazz, /*from_log=*/false, field->clazz, "containing-class");
+  }
+
+  while (!worklist.empty()) {
+    std::string current = worklist.front();
+    worklist.pop_front();
+    const std::string group = result.types[current].group;
+
+    for (const auto& subtype : model_->SubtypesOf(current)) {
+      add_type(subtype, /*from_log=*/false, group, "subtype");
+    }
+    for (const auto& collection : model_->CollectionsOf(current)) {
+      add_type(collection, /*from_log=*/false, group, "collection");
+    }
+    // Containing-class rule: C.f of meta-info type, set only in constructors.
+    for (const auto& field : model_->fields()) {
+      if (field.type == current && field.set_only_in_constructor) {
+        add_type(field.clazz, /*from_log=*/false, group, "containing-class");
+      }
+    }
+  }
+
+  // Meta-info fields: every field whose declared type is a meta-info type,
+  // plus the log-identified base-typed seeds already inserted.
+  for (const auto& field : model_->fields()) {
+    if (result.IsMetaInfoType(field.type)) {
+      result.fields.insert(field.id);
+    }
+  }
+  return result;
+}
+
+}  // namespace ctanalysis

@@ -1,0 +1,61 @@
+// Type-based meta-info inference (Definition 2, §3.1.2).
+//
+// Starting from the seed types/fields the log analysis discovered, computes
+// the closure:
+//   * subtypes of a meta-info type are meta-info types;
+//   * collection types over a meta-info type are meta-info types;
+//   * a class C with an instance field C.f of meta-info type that is only
+//     assigned in C's constructors is a meta-info type (the "uniquely indexed
+//     by" pattern, e.g. RMContainerImpl ~ ContainerId);
+//   * base types (Integer, String, Enum, byte[], File) are never generalized
+//     from — their meta-info fields come individually from log analysis and
+//     promote only their containing classes.
+//
+// Each inferred type carries provenance (log-identified vs derived) and a
+// group label naming the kind of meta-info it refers to, reproducing the
+// row structure of Table 2.
+#ifndef SRC_ANALYSIS_METAINFO_INFERENCE_H_
+#define SRC_ANALYSIS_METAINFO_INFERENCE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/model/program_model.h"
+
+namespace ctanalysis {
+
+struct MetaInfoTypeInfo {
+  std::string name;
+  bool from_log = false;  // the * annotation in Table 2
+  std::string group;      // seed type this one traces back to
+  std::string derived_via;  // "log" | "subtype" | "collection" | "containing-class"
+};
+
+struct MetaInfoResult {
+  std::map<std::string, MetaInfoTypeInfo> types;
+  std::set<std::string> fields;  // meta-info field ids (type-based + log seeds)
+
+  bool IsMetaInfoType(const std::string& name) const { return types.count(name) > 0; }
+  bool IsMetaInfoField(const std::string& id) const { return fields.count(id) > 0; }
+  int NumTypes() const { return static_cast<int>(types.size()); }
+  int NumFields() const { return static_cast<int>(fields.size()); }
+  // Table 2 view: group → member types, log-identified first.
+  std::map<std::string, std::vector<MetaInfoTypeInfo>> ByGroup() const;
+};
+
+class MetaInfoInference {
+ public:
+  explicit MetaInfoInference(const ctmodel::ProgramModel* model) : model_(model) {}
+
+  MetaInfoResult Infer(const std::set<std::string>& seed_types,
+                       const std::set<std::string>& seed_fields) const;
+
+ private:
+  const ctmodel::ProgramModel* model_;
+};
+
+}  // namespace ctanalysis
+
+#endif  // SRC_ANALYSIS_METAINFO_INFERENCE_H_

@@ -1,0 +1,29 @@
+// Lightweight invariant checking.
+//
+// CT_CHECK aborts the process on violated internal invariants of the tool
+// itself (never used to model bugs in the systems under test — those are
+// expressed with ctsim::SimException so the oracle can observe them).
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define CT_CHECK(cond)                                                               \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      std::fprintf(stderr, "CT_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, #cond); \
+      std::abort();                                                                  \
+    }                                                                                \
+  } while (0)
+
+#define CT_CHECK_MSG(cond, msg)                                                        \
+  do {                                                                                 \
+    if (!(cond)) {                                                                     \
+      std::fprintf(stderr, "CT_CHECK failed at %s:%d: %s (%s)\n", __FILE__, __LINE__, #cond, \
+                   msg);                                                               \
+      std::abort();                                                                    \
+    }                                                                                  \
+  } while (0)
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,164 @@
+#include "src/common/strings.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace ctcommon {
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> SplitSkipEmpty(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  for (auto& piece : Split(text, sep)) {
+    if (!piece.empty()) {
+      out.push_back(std::move(piece));
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) {
+      out.append(sep);
+    }
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+bool Contains(std::string_view text, std::string_view needle) {
+  return text.find(needle) != std::string_view::npos;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::string ReplaceAll(std::string_view text, std::string_view from, std::string_view to) {
+  if (from.empty()) {
+    return std::string(text);
+  }
+  std::string out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(text.substr(start));
+      return out;
+    }
+    out.append(text.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+}
+
+std::string FormatBraces(std::string_view tmpl, const std::vector<std::string>& args) {
+  std::string out;
+  size_t arg = 0;
+  size_t start = 0;
+  while (true) {
+    size_t pos = tmpl.find("{}", start);
+    if (pos == std::string_view::npos || arg >= args.size()) {
+      out.append(tmpl.substr(start));
+      return out;
+    }
+    out.append(tmpl.substr(start, pos - start));
+    out.append(args[arg++]);
+    start = pos + 2;
+  }
+}
+
+int CountPlaceholders(std::string_view tmpl) {
+  int n = 0;
+  size_t start = 0;
+  while ((start = tmpl.find("{}", start)) != std::string_view::npos) {
+    ++n;
+    start += 2;
+  }
+  return n;
+}
+
+std::vector<std::string> TemplateFragments(std::string_view tmpl) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = tmpl.find("{}", start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(tmpl.substr(start));
+      return out;
+    }
+    out.emplace_back(tmpl.substr(start, pos - start));
+    start = pos + 2;
+  }
+}
+
+bool MatchTemplate(std::string_view tmpl, std::string_view instance,
+                   std::vector<std::string>* values) {
+  std::vector<std::string> frags = TemplateFragments(tmpl);
+  values->clear();
+  // The instance must start with the first fragment.
+  if (instance.substr(0, frags[0].size()) != frags[0]) {
+    return false;
+  }
+  size_t pos = frags[0].size();
+  for (size_t i = 1; i < frags.size(); ++i) {
+    const std::string& frag = frags[i];
+    size_t next;
+    if (frag.empty()) {
+      // A trailing empty fragment means the placeholder absorbs the rest; an
+      // interior empty fragment is ambiguous and only occurs for adjacent
+      // placeholders, which our logging statements never produce. Match the
+      // last placeholder greedily.
+      if (i + 1 != frags.size()) {
+        return false;
+      }
+      next = instance.size();
+    } else if (i + 1 == frags.size() && instance.size() >= frag.size() &&
+               instance.substr(instance.size() - frag.size()) == frag) {
+      // Anchor the final fragment at the end so the last value is maximal.
+      next = instance.size() - frag.size();
+      if (next < pos) {
+        return false;
+      }
+    } else {
+      next = instance.find(frag, pos);
+      if (next == std::string_view::npos) {
+        return false;
+      }
+    }
+    values->emplace_back(instance.substr(pos, next - pos));
+    pos = next + frag.size();
+  }
+  return pos == instance.size();
+}
+
+std::string ToString(const std::string& v) { return v; }
+std::string ToString(const char* v) { return std::string(v); }
+std::string ToString(int64_t v) { return std::to_string(v); }
+std::string ToString(uint64_t v) { return std::to_string(v); }
+std::string ToString(int v) { return std::to_string(v); }
+std::string ToString(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace ctcommon

@@ -1,0 +1,62 @@
+// String utilities shared across the CrashTuner reproduction.
+//
+// The central piece is the brace-template formatter: logging statements carry a
+// template such as "Assigned container {} on host {}" whose runtime arguments
+// must be recoverable both as a concrete log instance and as a regex pattern
+// ("Assigned container (.*) on host (.*)", Fig. 5b of the paper).
+#ifndef SRC_COMMON_STRINGS_H_
+#define SRC_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ctcommon {
+
+// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Splits and drops empty pieces.
+std::vector<std::string> SplitSkipEmpty(std::string_view text, char sep);
+
+// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+// True if `text` contains `needle`.
+bool Contains(std::string_view text, std::string_view needle);
+
+// Lower-cases ASCII.
+std::string ToLower(std::string_view text);
+
+// Replaces every occurrence of `from` in `text` with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from, std::string_view to);
+
+// Substitutes each "{}" placeholder in `tmpl` with the corresponding entry of
+// `args`. Surplus placeholders are kept verbatim; surplus args are ignored.
+std::string FormatBraces(std::string_view tmpl, const std::vector<std::string>& args);
+
+// Number of "{}" placeholders in `tmpl`.
+int CountPlaceholders(std::string_view tmpl);
+
+// Splits a brace template into the literal fragments around its placeholders.
+// "a {} b {} c" -> {"a ", " b ", " c"}; a template with N placeholders yields
+// N+1 fragments (possibly empty).
+std::vector<std::string> TemplateFragments(std::string_view tmpl);
+
+// Attempts to parse `instance` against the brace template `tmpl`, recovering
+// the values that stood in for the placeholders. Returns false on mismatch.
+bool MatchTemplate(std::string_view tmpl, std::string_view instance,
+                   std::vector<std::string>* values);
+
+// Converts any value with operator<< support to a string; strings pass through.
+std::string ToString(const std::string& v);
+std::string ToString(const char* v);
+std::string ToString(int64_t v);
+std::string ToString(uint64_t v);
+std::string ToString(int v);
+std::string ToString(double v);
+
+}  // namespace ctcommon
+
+#endif  // SRC_COMMON_STRINGS_H_

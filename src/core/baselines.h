@@ -1,0 +1,66 @@
+// Baseline fault-injection approaches CrashTuner is compared against (§4.2).
+//
+// RandomCrashInjector: profile the fault-free runtime T, then run N trials
+// each crashing one randomly chosen node at a uniformly random virtual time
+// in [0, T] (§4.2.1, Table 7).
+//
+// IoFaultInjector: enumerate dynamic IO points (call sites of public
+// read*/write*/flush*/close* methods on Closeable classes, with calling
+// context) and inject a crash of the executing node before and after each
+// (§4.2.2, Tables 8-9).
+#ifndef SRC_CORE_BASELINES_H_
+#define SRC_CORE_BASELINES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/crashtuner.h"
+#include "src/core/executor.h"
+#include "src/core/profiler.h"
+#include "src/core/system_under_test.h"
+#include "src/runtime/tracer.h"
+
+namespace ctcore {
+
+struct BaselineTrial {
+  bool injected = false;
+  std::string target_node;
+  RunOutcome outcome;
+  // Random baseline: when/who; IO baseline: which dynamic point/side.
+  ctsim::Time crash_time_ms = 0;
+  ctrt::DynamicPoint io_point;
+  bool io_before = true;
+};
+
+struct BaselineReport {
+  std::string system;
+  std::string approach;  // "random" / "io"
+  int trials = 0;
+  double virtual_hours = 0;
+  std::vector<BaselineTrial> failing_trials;  // oracle-flagged
+  std::vector<DetectedBug> bugs;              // triaged + deduplicated
+  // IO baseline statistics (Table 8).
+  int io_classes = 0;
+  int io_methods = 0;
+  int static_io_points = 0;
+  int dynamic_io_points = 0;
+};
+
+class RandomCrashInjector {
+ public:
+  BaselineReport Run(const SystemUnderTest& system, int trials, uint64_t seed) const;
+};
+
+class IoFaultInjector {
+ public:
+  BaselineReport Run(const SystemUnderTest& system, uint64_t seed) const;
+};
+
+// Shared triage: converts failing baseline trials into deduplicated bugs
+// using exception text against the system's known-bug table.
+std::vector<DetectedBug> TriageBaselineBugs(const SystemUnderTest& system,
+                                            const std::vector<BaselineTrial>& trials);
+
+}  // namespace ctcore
+
+#endif  // SRC_CORE_BASELINES_H_

@@ -1,0 +1,173 @@
+#include "src/core/crashtuner.h"
+
+#include <chrono>
+#include <map>
+
+#include "src/common/strings.h"
+
+namespace ctcore {
+
+int SystemReport::InjectionsWithFault() const {
+  int count = 0;
+  for (const auto& injection : injections) {
+    if (injection.injected) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<DetectedBug> TriageBugs(const SystemUnderTest& system,
+                                    const std::vector<InjectionResult>& injections) {
+  const std::vector<KnownBug> known = system.known_bugs();
+
+  // Deduplicate at issue granularity: same static location + same primary
+  // symptom + same first uncommon exception.
+  std::map<std::string, DetectedBug> by_signature;
+  for (const auto& injection : injections) {
+    if (!injection.injected || !injection.outcome.IsBug()) {
+      continue;
+    }
+    // Triage before dedup: the signature of an injection that reproduces a
+    // known issue is the issue id, so several dynamic points exposing the
+    // same root cause collapse into one row (the "(2)" entries of Table 5).
+    // First pass matches crash-point location + failure; the fallback pass
+    // matches the failure alone (a crash at one point can surface a bug whose
+    // window lives elsewhere).
+    const ctcore::KnownBug* matched = nullptr;
+    auto exceptions_match = [&](const ctcore::KnownBug& candidate) {
+      if (candidate.exception_substr.empty() ||
+          candidate.exception_substr == injection.outcome.PrimarySymptom()) {
+        return true;
+      }
+      for (const auto& exception : injection.outcome.uncommon_exceptions) {
+        if (ctcommon::Contains(exception, candidate.exception_substr)) {
+          return true;
+        }
+      }
+      return false;
+    };
+    for (const auto& candidate : known) {
+      if (candidate.location_substr.empty() ||
+          !ctcommon::Contains(injection.location, candidate.location_substr)) {
+        continue;
+      }
+      if (exceptions_match(candidate)) {
+        matched = &candidate;
+        break;
+      }
+    }
+    if (matched == nullptr && !injection.outcome.uncommon_exceptions.empty()) {
+      for (const auto& candidate : known) {
+        if (!candidate.exception_substr.empty() && exceptions_match(candidate)) {
+          matched = &candidate;
+          break;
+        }
+      }
+    }
+    std::string signature =
+        matched != nullptr
+            ? matched->bug_id
+            : injection.location + "|" + injection.outcome.PrimarySymptom();
+    auto [it, inserted] = by_signature.try_emplace(signature);
+    DetectedBug& bug = it->second;
+    if (inserted) {
+      bug.location = injection.location;
+      bug.scenario =
+          injection.kind == ctanalysis::CrashPointKind::kPreRead ? "pre-read" : "post-write";
+      bug.symptom = injection.outcome.PrimarySymptom();
+      bug.sample_outcome = injection.outcome;
+      if (matched != nullptr) {
+        bug.bug_id = matched->bug_id;
+        bug.priority = matched->priority;
+        bug.status = matched->status;
+        bug.symptom = matched->symptom;
+        bug.metainfo = matched->metainfo;
+        bug.scenario = matched->scenario;
+      } else {
+        bug.bug_id = "NEW-" + injection.location;
+        bug.priority = "Unknown";
+        bug.status = "Unreported";
+      }
+    }
+    bug.exposing_points.push_back(injection.point);
+  }
+
+  std::vector<DetectedBug> bugs;
+  bugs.reserve(by_signature.size());
+  for (auto& [signature, bug] : by_signature) {
+    bugs.push_back(std::move(bug));
+  }
+  return bugs;
+}
+
+SystemReport CrashTunerDriver::Run(const SystemUnderTest& system,
+                                   const DriverOptions& options) const {
+  SystemReport report;
+  report.system = system.name();
+  const ctmodel::ProgramModel& model = system.model();
+
+  auto wall_start = std::chrono::steady_clock::now();
+
+  // --- Phase 1a: collect logs with an uninstrumented run. -------------------
+  ctrt::AccessTracer::Instance().Reset(ctrt::TraceMode::kOff);
+  auto log_run = system.NewRun(system.default_workload_size(), options.seed);
+  Executor::Execute(*log_run, /*baseline=*/nullptr);
+  std::vector<ctlog::Instance> run_logs = log_run->cluster().logs().instances();
+  std::vector<std::string> hosts = log_run->cluster().config_hosts();
+  log_run.reset();
+
+  // --- Phase 1b: offline analyses. ------------------------------------------
+  ctanalysis::LogAnalysis log_analysis(&model, hosts);
+  report.log_result = log_analysis.Analyze(run_logs);
+
+  ctanalysis::MetaInfoInference inference(&model);
+  std::set<std::string> seed_types = report.log_result.seed_types;
+  seed_types.insert(options.annotated_seed_types.begin(), options.annotated_seed_types.end());
+  std::set<std::string> seed_fields = report.log_result.seed_fields;
+  seed_fields.insert(options.annotated_seed_fields.begin(), options.annotated_seed_fields.end());
+  report.metainfo = inference.Infer(seed_types, seed_fields);
+
+  ctanalysis::CrashPointAnalysis crash_analysis(&model, &report.metainfo);
+  report.crash_points = crash_analysis.Identify(options.crash_point_options);
+
+  report.analysis_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  // --- Phase 1c: profiling for dynamic crash points. ------------------------
+  Profiler profiler;
+  report.profile =
+      profiler.Profile(system, report.crash_points.PointIds(), /*io_points=*/{}, options.seed);
+  report.profile_virtual_seconds =
+      static_cast<double>(report.profile.normal_duration_ms) * report.profile.iterations / 1000.0;
+
+  // --- Phase 2: fault-injection testing. -------------------------------------
+  ctlog::OnlineFilter filter = log_analysis.MakeOnlineFilter(report.log_result);
+  FaultInjectionTester tester(&system, &report.crash_points, filter, report.profile.baseline,
+                              report.profile.normal_duration_ms, options.pre_read_wait_ms);
+  report.injections = tester.TestAll(report.profile, options.seed + 1000);
+  report.test_virtual_hours = static_cast<double>(tester.total_virtual_ms()) / 3'600'000.0;
+
+  // --- Reporting. ------------------------------------------------------------
+  report.total_types = model.NumTypes();
+  report.total_fields = model.NumFields();
+  report.total_access_points = model.NumAccessPoints();
+  report.metainfo_types = report.metainfo.NumTypes();
+  report.metainfo_fields = report.metainfo.NumFields();
+  report.metainfo_access_points = report.crash_points.metainfo_access_points;
+  report.static_crash_points = static_cast<int>(report.crash_points.points.size());
+  report.dynamic_crash_points = static_cast<int>(report.profile.dynamic_access_points.size());
+  report.pruned_constructor = report.crash_points.pruned_constructor;
+  report.pruned_unused = report.crash_points.pruned_unused;
+  report.pruned_sanity_checked = report.crash_points.pruned_sanity_checked;
+
+  report.bugs = TriageBugs(system, report.injections);
+  for (const auto& injection : report.injections) {
+    if (injection.injected && !injection.outcome.IsBug() && injection.outcome.timeout_issue) {
+      report.timeout_issues.push_back(injection);
+    }
+  }
+  return report;
+}
+
+}  // namespace ctcore

@@ -1,0 +1,99 @@
+// End-to-end CrashTuner driver (Fig. 4).
+//
+// Phase 1 (locate crash points): run the workload once to collect logs →
+// offline log analysis → type-based meta-info inference → static crash
+// points → profiling for dynamic crash points.
+// Phase 2 (test): one fault-injection run per dynamic crash point, online
+// log analysis resolving accessed values to target nodes, oracle verdicts.
+// The report carries everything Tables 5 and 10-12 need.
+#ifndef SRC_CORE_CRASHTUNER_H_
+#define SRC_CORE_CRASHTUNER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/crash_point_analysis.h"
+#include "src/analysis/log_analysis.h"
+#include "src/analysis/metainfo_inference.h"
+#include "src/core/profiler.h"
+#include "src/core/system_under_test.h"
+#include "src/core/trigger.h"
+
+namespace ctcore {
+
+// One detected bug after deduplication (several dynamic points can expose the
+// same issue; the paper reports at issue granularity).
+struct DetectedBug {
+  std::string bug_id;  // triaged upstream id, or "NEW-<location>"
+  std::string priority;
+  std::string scenario;  // pre-read / post-write
+  std::string status;
+  std::string symptom;
+  std::string metainfo;
+  std::string location;
+  std::vector<ctrt::DynamicPoint> exposing_points;
+  RunOutcome sample_outcome;
+};
+
+struct SystemReport {
+  std::string system;
+
+  // Table 10 columns.
+  int total_types = 0;
+  int total_fields = 0;
+  int total_access_points = 0;
+  int metainfo_types = 0;
+  int metainfo_fields = 0;
+  int metainfo_access_points = 0;
+  int static_crash_points = 0;
+  int dynamic_crash_points = 0;
+
+  // Table 12 columns.
+  int pruned_constructor = 0;
+  int pruned_unused = 0;
+  int pruned_sanity_checked = 0;
+
+  // Table 11 columns: real wall time for the analyses, virtual cluster time
+  // for profiling/testing (the simulator equivalent of testbed hours).
+  double analysis_wall_seconds = 0;
+  double profile_virtual_seconds = 0;
+  double test_virtual_hours = 0;
+
+  ctanalysis::LogAnalysisResult log_result;
+  ctanalysis::MetaInfoResult metainfo;
+  ctanalysis::CrashPointResult crash_points;
+  ProfileResult profile;
+  std::vector<InjectionResult> injections;
+  std::vector<DetectedBug> bugs;            // oracle-failing, deduplicated
+  std::vector<InjectionResult> timeout_issues;  // §4.1.3
+
+  int InjectionsWithFault() const;
+};
+
+struct DriverOptions {
+  uint64_t seed = 2019;
+  ctanalysis::CrashPointOptions crash_point_options;
+  // Pre-read trigger wait window (§3.2.2; the paper defaults to 10 s). The
+  // window must outlast failure handling for the recovery to race the read.
+  ctsim::Time pre_read_wait_ms = FaultInjectionTester::kPreReadWaitMs;
+  // Manual annotations (§4.1.1): extra meta-info seeds for variables the
+  // logs never print (the HBASE-13546 / YARN-4502 class of misses).
+  std::set<std::string> annotated_seed_types;
+  std::set<std::string> annotated_seed_fields;
+};
+
+class CrashTunerDriver {
+ public:
+  SystemReport Run(const SystemUnderTest& system,
+                   const DriverOptions& options = DriverOptions()) const;
+};
+
+// Groups bug-verdict injections into DetectedBugs and triages them against
+// the system's known-bug table. Exposed for tests.
+std::vector<DetectedBug> TriageBugs(const SystemUnderTest& system,
+                                    const std::vector<InjectionResult>& injections);
+
+}  // namespace ctcore
+
+#endif  // SRC_CORE_CRASHTUNER_H_

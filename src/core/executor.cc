@@ -1,0 +1,93 @@
+#include "src/core/executor.h"
+
+#include "src/common/check.h"
+
+namespace ctcore {
+
+std::string RunOutcome::PrimarySymptom() const {
+  if (cluster_down) {
+    return "cluster down";
+  }
+  if (hang) {
+    return "system hang";
+  }
+  if (failed) {
+    return "job failure";
+  }
+  if (!uncommon_exceptions.empty()) {
+    return "uncommon exception";
+  }
+  if (timeout_issue) {
+    return "timeout";
+  }
+  return "ok";
+}
+
+RunOutcome Executor::Execute(WorkloadRun& run, const OracleBaseline* baseline) {
+  RunOutcome outcome;
+  ctsim::Cluster& cluster = run.cluster();
+  ctsim::EventLoop& loop = cluster.loop();
+  const ctsim::Time start = loop.Now();
+  const ctsim::Time expected = run.ExpectedDurationMs();
+  const ctsim::Time timeout_deadline = start + expected * kTimeoutFactor;
+  const ctsim::Time hang_deadline = start + expected * kHangFactor;
+
+  cluster.StartAll();
+  run.Start();
+
+  bool over_timeout = false;
+  while (!run.JobFinished() && !run.JobFailed() && !cluster.cluster_down()) {
+    if (loop.Now() > hang_deadline || loop.pending_events() == 0) {
+      break;
+    }
+    if (loop.Now() > timeout_deadline) {
+      over_timeout = true;  // keep running: distinguishes timeout from hang
+    }
+    loop.RunOne();
+  }
+
+  // Grace drain: the cluster keeps running briefly after the client sees the
+  // job finish, so post-completion bookkeeping (application cleanup, final
+  // releases) executes and its crash points are observable.
+  if (run.JobFinished() && !cluster.cluster_down()) {
+    loop.RunFor(3000);
+  }
+
+  outcome.virtual_duration_ms = loop.Now() - start;
+  outcome.finished = run.JobFinished();
+  outcome.failed = run.JobFailed();
+  outcome.cluster_down = cluster.cluster_down();
+  outcome.hang = !outcome.finished && !outcome.failed && !outcome.cluster_down;
+  outcome.timeout_issue = outcome.finished && over_timeout;
+
+  if (baseline != nullptr) {
+    for (const auto& [type, message] : ExceptionsIn(cluster.logs())) {
+      if (baseline->common_exception_types.count(type) == 0) {
+        outcome.uncommon_exceptions.push_back(type + ": " + message);
+      }
+    }
+  }
+  return outcome;
+}
+
+std::vector<std::pair<std::string, std::string>> Executor::ExceptionsIn(
+    const ctlog::LogStore& logs) {
+  // The dispatch boundary logs exceptions through this exact statement.
+  static const int kStmt = ctlog::StatementRegistry::Instance().Register(
+      ctlog::Level::kError, "Uncommon exception {} : {}", "Node.dispatch");
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& instance : logs.instances()) {
+    if (instance.statement_id == kStmt && instance.args.size() == 2) {
+      out.emplace_back(instance.args[0], instance.args[1]);
+    }
+  }
+  return out;
+}
+
+void Executor::AccumulateBaseline(const ctlog::LogStore& logs, OracleBaseline* baseline) {
+  for (const auto& [type, message] : ExceptionsIn(logs)) {
+    baseline->common_exception_types.insert(type);
+  }
+}
+
+}  // namespace ctcore

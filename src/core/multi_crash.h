@@ -1,0 +1,88 @@
+// Multi-crash extension (§6 future work; PREFAIL/FATE-style multi-failure
+// injection layered on meta-info crash points).
+//
+// The paper scopes CrashTuner to single-crash bugs and points at [23, 33]
+// for bugs that need several crash events. This extension chains a second
+// injection onto the same run: the first dynamic crash point fires and kills
+// its target as usual; the tracer is then re-armed at a second dynamic point
+// and a second node dies when it is hit. Outcomes feed the same oracle.
+//
+// The pair space is quadratic, so the tester takes an explicit cap and walks
+// pairs in a deterministic order; bench_multicrash reports what the deeper
+// search buys on the mini systems.
+#ifndef SRC_CORE_MULTI_CRASH_H_
+#define SRC_CORE_MULTI_CRASH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/crash_point_analysis.h"
+#include "src/core/crashtuner.h"
+#include "src/core/executor.h"
+#include "src/core/profiler.h"
+#include "src/core/system_under_test.h"
+#include "src/logging/stash.h"
+#include "src/runtime/tracer.h"
+
+namespace ctcore {
+
+struct PairInjectionResult {
+  ctrt::DynamicPoint first;
+  ctrt::DynamicPoint second;
+  std::string first_location;
+  std::string second_location;
+  bool first_injected = false;
+  bool second_injected = false;
+  std::string first_target;
+  std::string second_target;
+  RunOutcome outcome;
+};
+
+struct MultiCrashReport {
+  int pairs_tested = 0;
+  double virtual_hours = 0;
+  std::vector<PairInjectionResult> failing;  // oracle-flagged pairs
+  // Failing pairs whose failure does not reproduce under either single
+  // injection alone — the candidates for genuine multi-crash bugs.
+  std::vector<PairInjectionResult> multi_only;
+};
+
+class MultiCrashTester {
+ public:
+  MultiCrashTester(const SystemUnderTest* system,
+                   const ctanalysis::CrashPointResult* crash_points, ctlog::OnlineFilter filter,
+                   OracleBaseline baseline, ctsim::Time pre_read_wait_ms = 10'000)
+      : system_(system),
+        crash_points_(crash_points),
+        filter_(std::move(filter)),
+        baseline_(std::move(baseline)),
+        pre_read_wait_ms_(pre_read_wait_ms) {}
+
+  // Tests one ordered pair: the second point is armed after the first fault
+  // lands.
+  PairInjectionResult TestPair(const ctrt::DynamicPoint& first, const ctrt::DynamicPoint& second,
+                               uint64_t seed);
+
+  // Walks ordered pairs of dynamic crash points (deterministic order) up to
+  // `max_pairs` runs, comparing failing pairs against the single-injection
+  // outcomes from `single_results`.
+  MultiCrashReport TestPairs(const ProfileResult& profile,
+                             const std::vector<InjectionResult>& single_results, int max_pairs,
+                             uint64_t seed);
+
+ private:
+  ctanalysis::CrashPointKind KindOf(int point_id, std::string* location) const;
+  void Inject(ctsim::Cluster& cluster, const ctlog::CustomStash& stash,
+              ctanalysis::CrashPointKind kind, const ctrt::AccessEvent& event, bool* injected,
+              std::string* target);
+
+  const SystemUnderTest* system_;
+  const ctanalysis::CrashPointResult* crash_points_;
+  ctlog::OnlineFilter filter_;
+  OracleBaseline baseline_;
+  ctsim::Time pre_read_wait_ms_;
+};
+
+}  // namespace ctcore
+
+#endif  // SRC_CORE_MULTI_CRASH_H_

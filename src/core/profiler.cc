@@ -1,0 +1,44 @@
+#include "src/core/profiler.h"
+
+namespace ctcore {
+
+ProfileResult Profiler::Profile(const SystemUnderTest& system, const std::set<int>& access_points,
+                                const std::set<int>& io_points, uint64_t seed) const {
+  ProfileResult result;
+  ctrt::AccessTracer& tracer = ctrt::AccessTracer::Instance();
+
+  int size = system.default_workload_size();
+  for (int iteration = 0; iteration < kMaxIterations; ++iteration) {
+    tracer.Reset(ctrt::TraceMode::kProfile);
+    tracer.SetProfiledPoints(access_points, io_points);
+
+    auto run = system.NewRun(size, seed + static_cast<uint64_t>(iteration));
+    RunOutcome outcome = Executor::Execute(*run, /*baseline=*/nullptr);
+    Executor::AccumulateBaseline(run->cluster().logs(), &result.baseline);
+    ++result.iterations;
+
+    if (iteration == 0) {
+      result.normal_duration_ms = outcome.virtual_duration_ms;
+      result.default_run_logs = run->cluster().logs().instances();
+    }
+
+    size_t before =
+        result.dynamic_access_points.size() + result.dynamic_io_points.size();
+    for (const auto& [point, hits] : tracer.dynamic_access_points()) {
+      result.dynamic_access_points.insert(point);
+    }
+    for (const auto& [point, hits] : tracer.dynamic_io_points()) {
+      result.dynamic_io_points.insert(point);
+    }
+    size_t after = result.dynamic_access_points.size() + result.dynamic_io_points.size();
+    if (iteration > 0 && after == before) {
+      break;  // Fixpoint: doubling the workload found nothing new.
+    }
+    size *= 2;
+  }
+
+  tracer.Reset(ctrt::TraceMode::kOff);
+  return result;
+}
+
+}  // namespace ctcore

@@ -1,0 +1,46 @@
+// Profiling phase (§3.1.3).
+//
+// Runs the workload fault-free with the static crash points instrumented,
+// recording every executed ⟨static point, call stack⟩ pair as a dynamic
+// crash point. Starting from the system's default workload size, the size is
+// doubled until an iteration adds no new dynamic points (the paper observes
+// convergence within 2-3 iterations). The same runs also yield the
+// common-exception baseline for the oracle, the fault-free runtime used for
+// deadlines, and the logs the offline log analysis mines.
+#ifndef SRC_CORE_PROFILER_H_
+#define SRC_CORE_PROFILER_H_
+
+#include <set>
+#include <vector>
+
+#include "src/core/executor.h"
+#include "src/core/system_under_test.h"
+#include "src/logging/log_store.h"
+#include "src/runtime/tracer.h"
+
+namespace ctcore {
+
+struct ProfileResult {
+  std::set<ctrt::DynamicPoint> dynamic_access_points;
+  std::set<ctrt::DynamicPoint> dynamic_io_points;
+  OracleBaseline baseline;
+  ctsim::Time normal_duration_ms = 0;  // fault-free runtime at default size
+  int iterations = 0;
+  // Logs of the default-size run, input to offline log analysis.
+  std::vector<ctlog::Instance> default_run_logs;
+};
+
+class Profiler {
+ public:
+  static constexpr int kMaxIterations = 3;
+
+  // `access_points` / `io_points` are the static point ids to instrument
+  // (static crash points for CrashTuner, static IO points for the IO
+  // baseline; either may be empty).
+  ProfileResult Profile(const SystemUnderTest& system, const std::set<int>& access_points,
+                        const std::set<int>& io_points, uint64_t seed) const;
+};
+
+}  // namespace ctcore
+
+#endif  // SRC_CORE_PROFILER_H_

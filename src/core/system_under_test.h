@@ -1,0 +1,71 @@
+// Interface every mini system implements so the CrashTuner pipeline (and the
+// baseline injectors) can drive it without knowing its internals.
+#ifndef SRC_CORE_SYSTEM_UNDER_TEST_H_
+#define SRC_CORE_SYSTEM_UNDER_TEST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/model/program_model.h"
+#include "src/sim/cluster.h"
+
+namespace ctcore {
+
+// One deployment of the system plus one sized workload, ready to run. The
+// run owns its cluster; all faults and oracles act through this handle.
+class WorkloadRun {
+ public:
+  virtual ~WorkloadRun() = default;
+
+  virtual ctsim::Cluster& cluster() = 0;
+
+  // Schedules the workload onto the (already started) cluster.
+  virtual void Start() = 0;
+
+  // Job status, as the system's own client would report it.
+  virtual bool JobFinished() const = 0;
+  virtual bool JobFailed() const = 0;
+
+  // Virtual time a fault-free run of this size is expected to take; the
+  // executor uses it to size oracle deadlines.
+  virtual ctsim::Time ExpectedDurationMs() const = 0;
+};
+
+// Post-hoc triage entry: maps an oracle-detected failure back to the upstream
+// issue it reproduces (used by reports; detection never consults this).
+struct KnownBug {
+  std::string bug_id;       // e.g. "YARN-9164"
+  std::string priority;     // Critical / Major / Trivial / Normal
+  std::string scenario;     // "pre-read" / "post-write"
+  std::string status;       // Fixed / Unresolved
+  std::string symptom;      // Table 5 symptom text
+  std::string metainfo;     // Table 5 meta-info column
+  std::string location_substr;   // matches StaticCrashPoint::location
+  std::string exception_substr;  // matches an uncommon-exception message
+};
+
+class SystemUnderTest {
+ public:
+  virtual ~SystemUnderTest() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string version() const = 0;        // Table 4 column 2
+  virtual std::string workload_name() const = 0;  // Table 4 column 3
+
+  // The static program model (types, fields, access points, log bindings).
+  virtual const ctmodel::ProgramModel& model() const = 0;
+
+  // Builds a fresh deployment + workload. `workload_size` scales the job
+  // (the profiler doubles it until the dynamic-point set stabilizes).
+  virtual std::unique_ptr<WorkloadRun> NewRun(int workload_size, uint64_t seed) const = 0;
+
+  virtual int default_workload_size() const { return 1; }
+
+  // Triage table for report generation.
+  virtual std::vector<KnownBug> known_bugs() const { return {}; }
+};
+
+}  // namespace ctcore
+
+#endif  // SRC_CORE_SYSTEM_UNDER_TEST_H_

@@ -1,0 +1,99 @@
+#include "src/core/trigger.h"
+
+#include <map>
+#include <memory>
+
+#include "src/sim/exception.h"
+
+namespace ctcore {
+
+InjectionResult FaultInjectionTester::TestPoint(const ctrt::DynamicPoint& point,
+                                                ctanalysis::CrashPointKind kind, uint64_t seed) {
+  InjectionResult result;
+  result.point = point;
+  result.kind = kind;
+  for (const auto& static_point : crash_points_->points) {
+    if (static_point.access_point_id == point.point_id) {
+      result.location = static_point.location;
+      result.field_id = static_point.field_id;
+      break;
+    }
+  }
+
+  auto run = system_->NewRun(system_->default_workload_size(), seed);
+  ctsim::Cluster& cluster = run->cluster();
+
+  // Online log analysis: one agent per node feeding the custom stash.
+  ctlog::CustomStash stash(filter_);
+  std::vector<std::unique_ptr<ctlog::LogstashAgent>> agents;
+  for (const auto& node_id : cluster.node_ids()) {
+    agents.push_back(std::make_unique<ctlog::LogstashAgent>(node_id, &stash));
+  }
+  cluster.logs().Subscribe([&agents](const ctlog::Instance& instance) {
+    for (auto& agent : agents) {
+      agent->OnInstance(instance);
+    }
+  });
+
+  // Control-center callback (Fig. 7): resolve the accessed value to a node
+  // and inject the fault.
+  ctrt::AccessTracer& tracer = ctrt::AccessTracer::Instance();
+  tracer.Reset(ctrt::TraceMode::kTrigger);
+  tracer.ArmAccessTrigger(point, [&](const ctrt::AccessEvent& event) {
+    result.point_hit = true;
+    result.accessed_value = event.value;
+    auto target = stash.Lookup(event.value);
+    if (!target.has_value()) {
+      return;  // No associated node: the procedure simply returns (§3.2.2).
+    }
+    if (!cluster.IsAlive(*target)) {
+      return;
+    }
+    result.injected = true;
+    result.target_node = *target;
+    bool killing_current = (*target == cluster.current_node());
+    if (kind == ctanalysis::CrashPointKind::kPreRead) {
+      // Graceful shutdown lets the cluster learn about the departure without
+      // waiting out the failure detector; the wait window then lets recovery
+      // run before the instrumented read proceeds.
+      cluster.Shutdown(*target);
+      if (killing_current) {
+        throw ctsim::NodeCrashedSignal{};
+      }
+      cluster.loop().RunFor(pre_read_wait_ms_);
+    } else {
+      cluster.Crash(*target);
+      if (killing_current) {
+        throw ctsim::NodeCrashedSignal{};
+      }
+    }
+  });
+
+  result.outcome = Executor::Execute(*run, &baseline_);
+  result.point_hit = result.point_hit || tracer.trigger_fired();
+  total_virtual_ms_ += result.outcome.virtual_duration_ms;
+  tracer.Reset(ctrt::TraceMode::kOff);
+  return result;
+}
+
+std::vector<InjectionResult> FaultInjectionTester::TestAll(const ProfileResult& profile,
+                                                           uint64_t seed) {
+  // Static point id → kind.
+  std::map<int, ctanalysis::CrashPointKind> kinds;
+  for (const auto& static_point : crash_points_->points) {
+    kinds[static_point.access_point_id] = static_point.kind;
+  }
+  std::vector<InjectionResult> results;
+  uint64_t trial = 0;
+  for (const auto& point : profile.dynamic_access_points) {
+    auto it = kinds.find(point.point_id);
+    if (it == kinds.end()) {
+      continue;
+    }
+    results.push_back(TestPoint(point, it->second, seed + trial));
+    ++trial;
+  }
+  return results;
+}
+
+}  // namespace ctcore

@@ -1,0 +1,79 @@
+// Fault-injection testing phase (§3.2, Fig. 7).
+//
+// Each dynamic crash point gets its own run: the point is armed in the
+// tracer; Logstash agents stream meta-info values from every node's log into
+// the CustomStash; when the armed point fires, the control-center callback
+// queries the stash with the accessed runtime value to find the target node
+// and injects the fault —
+//   pre-read:   graceful shutdown of the target followed by a wait window so
+//               the recovery machinery runs before the read proceeds;
+//   post-write: abrupt crash of the target; if the target is the node
+//               executing the handler, the rest of the handler dies with it.
+// The oracle then classifies the run.
+#ifndef SRC_CORE_TRIGGER_H_
+#define SRC_CORE_TRIGGER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/crash_point_analysis.h"
+#include "src/core/executor.h"
+#include "src/core/profiler.h"
+#include "src/core/system_under_test.h"
+#include "src/logging/stash.h"
+#include "src/runtime/tracer.h"
+
+namespace ctcore {
+
+struct InjectionResult {
+  ctrt::DynamicPoint point;
+  ctanalysis::CrashPointKind kind = ctanalysis::CrashPointKind::kPreRead;
+  std::string location;      // static point location, for triage
+  std::string field_id;
+  bool point_hit = false;    // the armed dynamic point executed
+  bool injected = false;     // a target node was resolved and killed
+  std::string target_node;
+  std::string accessed_value;
+  RunOutcome outcome;
+};
+
+class FaultInjectionTester {
+ public:
+  // Wait window after a pre-read shutdown (the paper defaults to 10 s).
+  static constexpr ctsim::Time kPreReadWaitMs = 10'000;
+
+  FaultInjectionTester(const SystemUnderTest* system,
+                       const ctanalysis::CrashPointResult* crash_points,
+                       ctlog::OnlineFilter filter, OracleBaseline baseline,
+                       ctsim::Time normal_duration_ms,
+                       ctsim::Time pre_read_wait_ms = kPreReadWaitMs)
+      : system_(system),
+        crash_points_(crash_points),
+        filter_(std::move(filter)),
+        baseline_(std::move(baseline)),
+        normal_duration_ms_(normal_duration_ms),
+        pre_read_wait_ms_(pre_read_wait_ms) {}
+
+  // Tests one dynamic crash point; `kind` comes from its static point.
+  InjectionResult TestPoint(const ctrt::DynamicPoint& point, ctanalysis::CrashPointKind kind,
+                            uint64_t seed);
+
+  // Tests every dynamic crash point in `profile`, one run each.
+  std::vector<InjectionResult> TestAll(const ProfileResult& profile, uint64_t seed);
+
+  // Total virtual time spent across TestPoint calls (Table 11 test column).
+  ctsim::Time total_virtual_ms() const { return total_virtual_ms_; }
+
+ private:
+  const SystemUnderTest* system_;
+  const ctanalysis::CrashPointResult* crash_points_;
+  ctlog::OnlineFilter filter_;
+  OracleBaseline baseline_;
+  ctsim::Time normal_duration_ms_;
+  ctsim::Time pre_read_wait_ms_;
+  ctsim::Time total_virtual_ms_ = 0;
+};
+
+}  // namespace ctcore
+
+#endif  // SRC_CORE_TRIGGER_H_

@@ -1,0 +1,61 @@
+#include "src/logging/statement.h"
+
+#include <map>
+#include <tuple>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace ctlog {
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kFatal:
+      return "FATAL";
+    case Level::kError:
+      return "ERROR";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kTrace:
+      return "TRACE";
+  }
+  return "?";
+}
+
+StatementRegistry& StatementRegistry::Instance() {
+  static StatementRegistry* registry = new StatementRegistry();
+  return *registry;
+}
+
+int StatementRegistry::Register(Level level, const std::string& tmpl,
+                                const std::string& location) {
+  static std::map<std::tuple<Level, std::string, std::string>, int>* index =
+      new std::map<std::tuple<Level, std::string, std::string>, int>();
+  auto key = std::make_tuple(level, tmpl, location);
+  auto it = index->find(key);
+  if (it != index->end()) {
+    return it->second;
+  }
+  Statement stmt;
+  stmt.id = static_cast<int>(statements_.size());
+  stmt.level = level;
+  stmt.tmpl = tmpl;
+  stmt.location = location;
+  stmt.num_args = ctcommon::CountPlaceholders(tmpl);
+  statements_.push_back(stmt);
+  (*index)[key] = stmt.id;
+  return stmt.id;
+}
+
+const Statement& StatementRegistry::Get(int id) const {
+  CT_CHECK(id >= 0 && id < static_cast<int>(statements_.size()));
+  return statements_[id];
+}
+
+int StatementRegistry::size() const { return static_cast<int>(statements_.size()); }
+
+}  // namespace ctlog

@@ -1,0 +1,57 @@
+// Logging-statement registry.
+//
+// The paper's log analysis (§3.1.1) starts from the *logging statements* in
+// the program: call sites of Log4j/SLF4J interfaces whose format string plus
+// argument list define a log pattern ("Assigned container (.*) on host (.*)").
+// Our mini systems register each logging statement once, at static-init or
+// model-build time, and then emit instances by statement id. This keeps the
+// static view (patterns) and the dynamic view (instances) linked exactly the
+// way bytecode call sites and runtime lines are linked in the original tool.
+#ifndef SRC_LOGGING_STATEMENT_H_
+#define SRC_LOGGING_STATEMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ctlog {
+
+enum class Level { kFatal, kError, kWarn, kInfo, kDebug, kTrace };
+
+const char* LevelName(Level level);
+
+// One logging statement in the program under test.
+struct Statement {
+  int id = -1;
+  Level level = Level::kInfo;
+  // Brace template, e.g. "NodeManager from {} registered as {}".
+  std::string tmpl;
+  // Class::method that contains the statement (for reports only).
+  std::string location;
+  int num_args = 0;
+};
+
+// Process-wide registry of logging statements. Statements describe static
+// program structure, so a singleton mirrors the single program under test per
+// process; per-run state (instances) lives in LogStore instead.
+class StatementRegistry {
+ public:
+  static StatementRegistry& Instance();
+
+  // Registers a statement and returns its id. Registering the same
+  // (level, tmpl, location) again returns the existing id, making static
+  // initialization idempotent across repeated model builds.
+  int Register(Level level, const std::string& tmpl, const std::string& location);
+
+  const Statement& Get(int id) const;
+  int size() const;
+  const std::vector<Statement>& statements() const { return statements_; }
+
+ private:
+  StatementRegistry() = default;
+  std::vector<Statement> statements_;
+};
+
+}  // namespace ctlog
+
+#endif  // SRC_LOGGING_STATEMENT_H_

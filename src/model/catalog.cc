@@ -1,0 +1,148 @@
+#include "src/model/catalog.h"
+
+#include <string>
+
+#include "src/common/rng.h"
+
+namespace ctmodel {
+
+namespace {
+
+// IO method name prefixes the paper's scan keys on (§4.2.2).
+const char* kIoMethodNames[] = {"read", "write", "flush", "close"};
+
+// Plain value types used for catalog fields that are not meta-info holders.
+const char* kPlainFieldTypes[] = {"java.lang.String",  "java.lang.Integer", "java.lang.Long",
+                                  "java.lang.Boolean", "byte[]",            "java.io.File",
+                                  "java.lang.Enum"};
+
+}  // namespace
+
+void AddBaseTypes(ProgramModel* model) {
+  for (const char* name :
+       {"java.lang.String", "java.lang.Integer", "java.lang.Long", "java.lang.Boolean",
+        "java.lang.Enum", "byte[]", "java.io.File"}) {
+    if (model->FindType(name) == nullptr) {
+      TypeDecl type;
+      type.name = name;
+      type.is_base = true;
+      model->AddType(type);
+    }
+  }
+}
+
+void PopulateCatalog(ProgramModel* model, const CatalogSpec& spec) {
+  ctcommon::Rng rng(spec.seed);
+  AddBaseTypes(model);
+
+  int counter = 0;
+  auto next_class_name = [&]() {
+    const std::string& pkg = spec.packages[counter % spec.packages.size()];
+    const std::string& stem = spec.stems[(counter / spec.packages.size()) % spec.stems.size()];
+    const std::string& suffix = spec.suffixes[counter % spec.suffixes.size()];
+    std::string name = pkg + "." + stem + suffix;
+    if (model->FindType(name) != nullptr) {
+      name += std::to_string(counter);
+    }
+    ++counter;
+    return name;
+  };
+
+  // Meta-info holder classes first: each holds one field of a meta-info type
+  // (set outside the constructor, so the holder itself is *not* pulled into
+  // the meta-info type set by Definition 2, but its accesses are crash-point
+  // candidates).
+  for (const auto& metainfo_type : spec.metainfo_field_types) {
+    for (int h = 0; h < spec.holders_per_metainfo_type; ++h) {
+      std::string clazz = next_class_name();
+      TypeDecl type;
+      type.name = clazz;
+      model->AddType(type);
+
+      FieldDecl field;
+      field.clazz = clazz;
+      field.name = "tracked" + std::to_string(h);
+      field.type = metainfo_type;
+      model->AddField(field);
+      std::string field_id = clazz + "." + field.name;
+
+      int accesses = static_cast<int>(
+          rng.Uniform(spec.min_accesses_per_field, spec.max_accesses_per_field));
+      for (int a = 0; a < accesses; ++a) {
+        AccessPointDecl point;
+        point.field_id = field_id;
+        point.kind = rng.Chance(0.7) ? AccessKind::kRead : AccessKind::kWrite;
+        point.clazz = clazz;
+        point.method = rng.Chance(0.5) ? "handle" : "process";
+        point.line = 20 + a * 7;
+        point.synthetic = true;
+        if (point.kind == AccessKind::kRead) {
+          point.value_unused = rng.Chance(spec.unused_read_fraction);
+          if (!point.value_unused) {
+            point.sanity_checked = rng.Chance(spec.sanity_checked_fraction);
+          }
+        }
+        model->AddAccessPoint(point);
+      }
+    }
+  }
+
+  // Bulk non-meta classes.
+  for (int c = 0; c < spec.num_classes; ++c) {
+    std::string clazz = next_class_name();
+    TypeDecl type;
+    type.name = clazz;
+    type.closeable = rng.Chance(spec.closeable_fraction);
+    model->AddType(type);
+
+    if (type.closeable) {
+      int io_methods = static_cast<int>(rng.Uniform(1, 3));
+      for (int m = 0; m < io_methods; ++m) {
+        IoMethodDecl io;
+        io.clazz = clazz;
+        io.method = std::string(kIoMethodNames[rng.Index(4)]) + "Internal" + std::to_string(m);
+        model->AddIoMethod(io);
+        for (int s = 0; s < spec.io_points_per_method; ++s) {
+          IoPointDecl point;
+          point.io_class = clazz;
+          point.io_method = io.method;
+          point.callsite = clazz + ".run";
+          model->AddIoPoint(point);
+        }
+      }
+    }
+
+    int num_fields =
+        static_cast<int>(rng.Uniform(spec.min_fields_per_class, spec.max_fields_per_class));
+    for (int f = 0; f < num_fields; ++f) {
+      FieldDecl field;
+      field.clazz = clazz;
+      field.name = "state" + std::to_string(f);
+      field.type = kPlainFieldTypes[rng.Index(std::size(kPlainFieldTypes))];
+      field.set_only_in_constructor = rng.Chance(spec.ctor_only_field_fraction);
+      model->AddField(field);
+      std::string field_id = clazz + "." + field.name;
+
+      int accesses = static_cast<int>(
+          rng.Uniform(spec.min_accesses_per_field, spec.max_accesses_per_field));
+      for (int a = 0; a < accesses; ++a) {
+        AccessPointDecl point;
+        point.field_id = field_id;
+        point.kind = rng.Chance(0.65) ? AccessKind::kRead : AccessKind::kWrite;
+        point.clazz = clazz;
+        point.method = "serve" + std::to_string(a % 3);
+        point.line = 30 + a * 11;
+        point.synthetic = true;
+        if (point.kind == AccessKind::kRead) {
+          point.value_unused = rng.Chance(spec.unused_read_fraction);
+          if (!point.value_unused) {
+            point.sanity_checked = rng.Chance(spec.sanity_checked_fraction);
+          }
+        }
+        model->AddAccessPoint(point);
+      }
+    }
+  }
+}
+
+}  // namespace ctmodel

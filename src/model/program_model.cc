@@ -1,0 +1,130 @@
+#include "src/model/program_model.h"
+
+#include <set>
+
+#include "src/common/check.h"
+
+namespace ctmodel {
+
+void ProgramModel::AddType(TypeDecl type) {
+  CT_CHECK_MSG(type_index_.find(type.name) == type_index_.end(), type.name.c_str());
+  type_index_[type.name] = static_cast<int>(types_.size());
+  types_.push_back(std::move(type));
+}
+
+void ProgramModel::AddField(FieldDecl field) {
+  if (field.id.empty()) {
+    field.id = field.clazz + "." + field.name;
+  }
+  CT_CHECK_MSG(field_index_.find(field.id) == field_index_.end(), field.id.c_str());
+  field_index_[field.id] = static_cast<int>(fields_.size());
+  fields_.push_back(std::move(field));
+}
+
+int ProgramModel::AddAccessPoint(AccessPointDecl point) {
+  point.id = static_cast<int>(access_points_.size());
+  access_points_.push_back(std::move(point));
+  return access_points_.back().id;
+}
+
+void ProgramModel::BindLog(LogBinding binding) { log_bindings_.push_back(std::move(binding)); }
+
+void ProgramModel::AddIoMethod(IoMethodDecl method) { io_methods_.push_back(std::move(method)); }
+
+int ProgramModel::AddIoPoint(IoPointDecl point) {
+  point.id = static_cast<int>(io_points_.size());
+  io_points_.push_back(std::move(point));
+  return io_points_.back().id;
+}
+
+const TypeDecl* ProgramModel::FindType(const std::string& name) const {
+  auto it = type_index_.find(name);
+  return it == type_index_.end() ? nullptr : &types_[it->second];
+}
+
+const FieldDecl* ProgramModel::FindField(const std::string& id) const {
+  auto it = field_index_.find(id);
+  return it == field_index_.end() ? nullptr : &fields_[it->second];
+}
+
+const AccessPointDecl& ProgramModel::access_point(int id) const {
+  CT_CHECK(id >= 0 && id < static_cast<int>(access_points_.size()));
+  return access_points_[id];
+}
+
+const IoPointDecl& ProgramModel::io_point(int id) const {
+  CT_CHECK(id >= 0 && id < static_cast<int>(io_points_.size()));
+  return io_points_[id];
+}
+
+bool ProgramModel::IsSubtypeOf(const std::string& name, const std::string& ancestor) const {
+  std::string current = name;
+  // Walks the supertype chain; models are acyclic by construction but we
+  // bound the walk defensively.
+  for (int hops = 0; hops < 64; ++hops) {
+    if (current == ancestor) {
+      return true;
+    }
+    const TypeDecl* type = FindType(current);
+    if (type == nullptr || type->supertype.empty()) {
+      return false;
+    }
+    current = type->supertype;
+  }
+  return false;
+}
+
+std::vector<std::string> ProgramModel::SubtypesOf(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& type : types_) {
+    if (type.supertype == name) {
+      out.push_back(type.name);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ProgramModel::CollectionsOf(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& type : types_) {
+    for (const auto& element : type.element_types) {
+      if (element == name) {
+        out.push_back(type.name);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<const FieldDecl*> ProgramModel::FieldsOf(const std::string& clazz) const {
+  std::vector<const FieldDecl*> out;
+  for (const auto& field : fields_) {
+    if (field.clazz == clazz) {
+      out.push_back(&field);
+    }
+  }
+  return out;
+}
+
+std::vector<const AccessPointDecl*> ProgramModel::PointsOn(const std::string& field_id) const {
+  std::vector<const AccessPointDecl*> out;
+  for (const auto& point : access_points_) {
+    if (point.field_id == field_id) {
+      out.push_back(&point);
+    }
+  }
+  return out;
+}
+
+int ProgramModel::NumIoClasses() const {
+  int count = 0;
+  for (const auto& type : types_) {
+    if (type.closeable) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace ctmodel

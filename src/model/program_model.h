@@ -1,0 +1,156 @@
+// Program model: the static view of a system under test.
+//
+// The original CrashTuner reads this information out of Java bytecode with
+// WALA: the class hierarchy, collection types, instance fields, every
+// getField/putField and collection-API call site, logging statements, and IO
+// call sites. Our mini systems declare the same structure here when they
+// build their model. The declared structure and the executable code are kept
+// consistent by construction: every traced access in a mini system fires the
+// AccessPointDecl id it declares.
+//
+// Models also carry *synthetic* entries — classes, fields and access points
+// taken from catalogs of real Hadoop-ecosystem names that exist in the
+// program but are never executed by the test workload. They give the static
+// analysis a realistically large and noisy universe (the Table 10 totals are
+// dominated by such code in the real systems too); the profiler naturally
+// discards them because they never produce a dynamic hit.
+#ifndef SRC_MODEL_PROGRAM_MODEL_H_
+#define SRC_MODEL_PROGRAM_MODEL_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ctmodel {
+
+// A class/type in the system under test.
+struct TypeDecl {
+  std::string name;                        // e.g. "yarn.api.records.NodeId"
+  std::string supertype;                   // "" if none modelled
+  std::vector<std::string> element_types;  // non-empty → collection of those
+  bool is_base = false;                    // Integer, String, Enum, byte[], File
+  bool closeable = false;                  // implements java.io.Closeable (Table 8)
+};
+
+// An instance field.
+struct FieldDecl {
+  std::string id;     // "Class.field"
+  std::string clazz;  // containing class
+  std::string name;
+  std::string type;  // declared type name
+  bool set_only_in_constructor = false;
+};
+
+enum class AccessKind { kRead, kWrite };
+
+// One program point that reads or writes a field (directly or through a
+// collection API call).
+struct AccessPointDecl {
+  int id = -1;
+  std::string field_id;
+  AccessKind kind = AccessKind::kRead;
+  std::string clazz;   // class containing the access
+  std::string method;  // method containing the access
+  int line = 0;
+  std::string collection_op;  // e.g. "get", "put"; empty for plain field access
+  // Read-only attributes the optimizations key on (§3.1.2).
+  bool value_unused = false;       // result unused or logging/toString-only
+  bool sanity_checked = false;     // result null-checked before use
+  bool returned_directly = false;  // result only used in a return statement
+  // Promotion targets: ids of the call-site access points this point expands
+  // to when returned_directly is set (the YARN-9164 43-call-site case).
+  std::vector<int> promoted_sites;
+  bool executable = false;  // wired to a runtime hook in the mini system
+  bool synthetic = false;   // catalog entry, never executed
+};
+
+// Per-placeholder description of a logging statement's arguments.
+struct LogArg {
+  std::string type;      // static type of the logged expression
+  std::string field_id;  // originating field, if the expression reads one
+};
+
+struct LogBinding {
+  int statement_id = -1;
+  std::vector<LogArg> args;
+};
+
+// An IO method (public method of a Closeable class whose name starts with
+// read/write/flush/close) and a call site of one (§4.2.2, Table 8).
+struct IoMethodDecl {
+  std::string clazz;
+  std::string method;
+};
+
+struct IoPointDecl {
+  int id = -1;
+  std::string io_class;
+  std::string io_method;
+  std::string callsite;  // "Class.method" performing the call
+  bool executable = false;
+};
+
+class ProgramModel {
+ public:
+  explicit ProgramModel(std::string system_name) : system_name_(std::move(system_name)) {}
+
+  const std::string& system_name() const { return system_name_; }
+
+  // --- Construction -------------------------------------------------------
+  void AddType(TypeDecl type);
+  void AddField(FieldDecl field);
+  // Assigns and returns the access-point id.
+  int AddAccessPoint(AccessPointDecl point);
+  void BindLog(LogBinding binding);
+  void AddIoMethod(IoMethodDecl method);
+  int AddIoPoint(IoPointDecl point);
+
+  // --- Queries -------------------------------------------------------------
+  const TypeDecl* FindType(const std::string& name) const;
+  const FieldDecl* FindField(const std::string& id) const;
+  const AccessPointDecl& access_point(int id) const;
+  const IoPointDecl& io_point(int id) const;
+
+  // True if `name` equals `ancestor` or transitively extends it.
+  bool IsSubtypeOf(const std::string& name, const std::string& ancestor) const;
+  // Direct subtypes of `name`.
+  std::vector<std::string> SubtypesOf(const std::string& name) const;
+  // Collection types having `name` among their element types.
+  std::vector<std::string> CollectionsOf(const std::string& name) const;
+  // Fields declared by class `clazz`.
+  std::vector<const FieldDecl*> FieldsOf(const std::string& clazz) const;
+  // All access points touching `field_id`.
+  std::vector<const AccessPointDecl*> PointsOn(const std::string& field_id) const;
+
+  const std::vector<TypeDecl>& types() const { return types_; }
+  const std::vector<FieldDecl>& fields() const { return fields_; }
+  const std::vector<AccessPointDecl>& access_points() const { return access_points_; }
+  const std::vector<LogBinding>& log_bindings() const { return log_bindings_; }
+  const std::vector<IoMethodDecl>& io_methods() const { return io_methods_; }
+  const std::vector<IoPointDecl>& io_points() const { return io_points_; }
+
+  // Table 10 / Table 8 totals.
+  int NumTypes() const { return static_cast<int>(types_.size()); }
+  int NumFields() const { return static_cast<int>(fields_.size()); }
+  int NumAccessPoints() const { return static_cast<int>(access_points_.size()); }
+  int NumIoClasses() const;
+  int NumIoMethods() const { return static_cast<int>(io_methods_.size()); }
+  int NumIoPoints() const { return static_cast<int>(io_points_.size()); }
+
+ private:
+  std::string system_name_;
+  std::vector<TypeDecl> types_;
+  std::map<std::string, int> type_index_;
+  std::vector<FieldDecl> fields_;
+  std::map<std::string, int> field_index_;
+  std::vector<AccessPointDecl> access_points_;
+  std::vector<LogBinding> log_bindings_;
+  std::vector<IoMethodDecl> io_methods_;
+  std::vector<IoPointDecl> io_points_;
+};
+
+}  // namespace ctmodel
+
+#endif  // SRC_MODEL_PROGRAM_MODEL_H_

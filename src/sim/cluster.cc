@@ -1,0 +1,119 @@
+#include "src/sim/cluster.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace ctsim {
+
+Cluster::Cluster(uint64_t seed) : rng_(seed) {
+  loop_.SetOwnerAliveCheck([this](const std::string& owner) { return IsAlive(owner); });
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::RegisterNode(std::unique_ptr<Node> node) {
+  const std::string& id = node->id();
+  CT_CHECK_MSG(nodes_.find(id) == nodes_.end(), "duplicate node id");
+  insertion_order_.push_back(id);
+  nodes_[id] = std::move(node);
+}
+
+Node* Cluster::Find(const std::string& id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Node*> Cluster::nodes() const {
+  std::vector<Node*> out;
+  out.reserve(insertion_order_.size());
+  for (const auto& id : insertion_order_) {
+    out.push_back(nodes_.at(id).get());
+  }
+  return out;
+}
+
+std::vector<std::string> Cluster::node_ids() const { return insertion_order_; }
+
+std::vector<std::string> Cluster::config_hosts() const {
+  std::vector<std::string> hosts;
+  for (const auto& id : insertion_order_) {
+    std::string host = nodes_.at(id)->host();
+    if (std::find(hosts.begin(), hosts.end(), host) == hosts.end()) {
+      hosts.push_back(host);
+    }
+  }
+  return hosts;
+}
+
+void Cluster::StartAll() {
+  for (const auto& id : insertion_order_) {
+    Node* node = nodes_.at(id).get();
+    if (node->state() == NodeState::kStopped && !node->defer_start()) {
+      StartNode(id);
+    }
+  }
+}
+
+void Cluster::StartNode(const std::string& id) {
+  Node* node = Find(id);
+  if (node == nullptr || node->state() != NodeState::kStopped) {
+    return;
+  }
+  std::string previous = current_node_;
+  current_node_ = id;
+  node->Start();
+  current_node_ = previous;
+}
+
+bool Cluster::IsAlive(const std::string& id) const {
+  Node* node = Find(id);
+  return node != nullptr && node->IsRunning();
+}
+
+void Cluster::Crash(const std::string& id) {
+  Node* node = Find(id);
+  if (node == nullptr || !node->IsRunning()) {
+    return;
+  }
+  ++crash_count_;
+  node->MarkCrashed();
+}
+
+void Cluster::Shutdown(const std::string& id) {
+  Node* node = Find(id);
+  if (node == nullptr || !node->IsRunning()) {
+    return;
+  }
+  ++shutdown_count_;
+  // The shutdown hook runs inside the node's exception boundary: stop-time
+  // code can itself raise the exceptions crash-recovery bugs are made of
+  // (HDFS-14372's "shutdown before register" abort).
+  node->RunGuarded("shutdown", [node] { node->OnShutdown(); });
+  node->MarkShutdown();
+}
+
+void Cluster::Post(Message message) {
+  loop_.Schedule(latency_ms_, [this, message = std::move(message)]() {
+    Node* target = Find(message.to);
+    if (target == nullptr || !target->IsRunning()) {
+      ++dropped_messages_;
+      return;
+    }
+    ++delivered_messages_;
+    std::string previous = current_node_;
+    current_node_ = message.to;
+    target->Dispatch(message);
+    current_node_ = previous;
+  });
+}
+
+void Cluster::MarkClusterDown(const std::string& reason) {
+  if (cluster_down_) {
+    return;
+  }
+  cluster_down_ = true;
+  cluster_down_reason_ = reason;
+}
+
+}  // namespace ctsim

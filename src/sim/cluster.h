@@ -1,0 +1,113 @@
+// Simulated cluster: nodes + network + shared event loop + log store.
+//
+// The cluster is the unit of one test run. It owns the deterministic event
+// loop, delivers RPCs with fixed latency (dropping traffic to dead nodes),
+// and exposes the two fault primitives the paper's trigger uses: Crash
+// (abrupt kill, like the crash RPC of Fig. 7) and Shutdown (graceful leave
+// via the system's shutdown script, used for pre-read points so the cluster
+// learns about the departure without waiting out the failure detector).
+#ifndef SRC_SIM_CLUSTER_H_
+#define SRC_SIM_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/logging/log_store.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/message.h"
+#include "src/sim/node.h"
+
+namespace ctsim {
+
+class Cluster {
+ public:
+  explicit Cluster(uint64_t seed);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  EventLoop& loop() { return loop_; }
+  ctlog::LogStore& logs() { return logs_; }
+  ctcommon::Rng& rng() { return rng_; }
+
+  // Constructs and registers a node. T must derive from Node and take
+  // (Cluster*, ...) constructor arguments.
+  template <typename T, typename... Args>
+  T* AddNode(Args&&... args) {
+    auto node = std::make_unique<T>(this, std::forward<Args>(args)...);
+    T* raw = node.get();
+    RegisterNode(std::move(node));
+    return raw;
+  }
+
+  Node* Find(const std::string& id) const;
+  std::vector<Node*> nodes() const;
+  std::vector<std::string> node_ids() const;
+  // Hosts listed in the cluster "configuration file" — what log analysis uses
+  // to recognize node-referencing values.
+  std::vector<std::string> config_hosts() const;
+
+  // Starts every non-deferred stopped node.
+  void StartAll();
+  // Starts one node (used for nodes that join the cluster mid-run).
+  void StartNode(const std::string& id);
+
+  bool IsAlive(const std::string& id) const;
+
+  // Abrupt kill: no notifications; in-flight messages to the node are lost;
+  // its timers never fire again.
+  void Crash(const std::string& id);
+
+  // Graceful stop: OnShutdown runs (sending leave notifications), then the
+  // node is marked dead.
+  void Shutdown(const std::string& id);
+
+  // Network: schedules delivery after the link latency; messages to nodes
+  // that are dead *at delivery time* are dropped.
+  void Post(Message message);
+  Time latency_ms() const { return latency_ms_; }
+  void set_latency_ms(Time latency) { latency_ms_ = latency; }
+
+  // Whole-cluster failure flag (e.g. the master aborted).
+  void MarkClusterDown(const std::string& reason);
+  bool cluster_down() const { return cluster_down_; }
+  const std::string& cluster_down_reason() const { return cluster_down_reason_; }
+
+  // Node whose handler is currently executing ("" between events). The
+  // trigger needs this to kill the right process when the crash target is the
+  // currently running node.
+  const std::string& current_node() const { return current_node_; }
+
+  // Counters for tests and reports.
+  uint64_t delivered_messages() const { return delivered_messages_; }
+  uint64_t dropped_messages() const { return dropped_messages_; }
+  int crash_count() const { return crash_count_; }
+  int shutdown_count() const { return shutdown_count_; }
+
+ private:
+  friend class Node;
+
+  void RegisterNode(std::unique_ptr<Node> node);
+
+  EventLoop loop_;
+  ctlog::LogStore logs_;
+  ctcommon::Rng rng_;
+  std::map<std::string, std::unique_ptr<Node>> nodes_;
+  std::vector<std::string> insertion_order_;
+  Time latency_ms_ = 1;
+  bool cluster_down_ = false;
+  std::string cluster_down_reason_;
+  std::string current_node_;
+  uint64_t delivered_messages_ = 0;
+  uint64_t dropped_messages_ = 0;
+  int crash_count_ = 0;
+  int shutdown_count_ = 0;
+};
+
+}  // namespace ctsim
+
+#endif  // SRC_SIM_CLUSTER_H_

@@ -1,0 +1,67 @@
+#include "src/sim/event_loop.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace ctsim {
+
+EventId EventLoop::Schedule(Time delay, std::function<void()> fn, std::string owner) {
+  return ScheduleAt(now_ + delay, std::move(fn), std::move(owner));
+}
+
+EventId EventLoop::ScheduleAt(Time when, std::function<void()> fn, std::string owner) {
+  CT_CHECK(when >= now_);
+  Event event;
+  event.when = when;
+  event.seq = next_seq_++;
+  event.id = next_id_++;
+  event.owner = std::move(owner);
+  event.fn = std::move(fn);
+  EventId id = event.id;
+  queue_.push(std::move(event));
+  return id;
+}
+
+void EventLoop::Cancel(EventId id) { cancelled_.push_back(id); }
+
+bool EventLoop::PopAndRun(Time limit, bool has_limit) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (has_limit && top.when > limit) {
+      return false;
+    }
+    Event event = top;
+    queue_.pop();
+    if (std::find(cancelled_.begin(), cancelled_.end(), event.id) != cancelled_.end()) {
+      std::erase(cancelled_, event.id);
+      continue;
+    }
+    now_ = std::max(now_, event.when);
+    if (!event.owner.empty() && alive_check_ && !alive_check_(event.owner)) {
+      ++skipped_dead_owner_events_;
+      continue;
+    }
+    ++executed_events_;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+bool EventLoop::RunOne() { return PopAndRun(0, /*has_limit=*/false); }
+
+void EventLoop::RunToCompletion() {
+  while (PopAndRun(0, /*has_limit=*/false)) {
+  }
+}
+
+void EventLoop::RunUntil(Time when) {
+  while (PopAndRun(when, /*has_limit=*/true)) {
+  }
+  now_ = std::max(now_, when);
+}
+
+size_t EventLoop::pending_events() const { return queue_.size(); }
+
+}  // namespace ctsim

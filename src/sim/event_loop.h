@@ -1,0 +1,97 @@
+// Deterministic discrete-event loop driving all cluster activity.
+//
+// Everything that happens "concurrently" in the systems under test —
+// heartbeats, RPC deliveries, monitor ticks, workload steps — is an event in
+// one totally ordered queue keyed by (virtual time, sequence number). Virtual
+// time makes each interleaving reproducible, which is what lets a reported
+// bug be replayed from its ⟨crash point, seed⟩ alone.
+//
+// The loop supports bounded *nested* draining: the pre-read trigger (§3.2.2)
+// issues a shutdown RPC and then waits a timeout window so the recovery
+// machinery runs before the instrumented read proceeds. In a real deployment
+// other threads run during that wait; here the hook re-enters the loop for
+// the window's worth of events and then returns to the interrupted handler.
+#ifndef SRC_SIM_EVENT_LOOP_H_
+#define SRC_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace ctsim {
+
+using Time = uint64_t;  // virtual milliseconds
+using EventId = uint64_t;
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  Time Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` ms from now. If `owner` is non-empty the
+  // event is skipped when the owner is no longer alive at fire time (a dead
+  // node's timers and in-flight work die with it).
+  EventId Schedule(Time delay, std::function<void()> fn, std::string owner = "");
+  EventId ScheduleAt(Time when, std::function<void()> fn, std::string owner = "");
+
+  void Cancel(EventId id);
+
+  // Installed by the cluster; decides whether `owner` is still alive.
+  void SetOwnerAliveCheck(std::function<bool(const std::string&)> check) {
+    alive_check_ = std::move(check);
+  }
+
+  // Runs a single event if one is pending; advances the clock to it.
+  bool RunOne();
+
+  // Runs until the queue empties.
+  void RunToCompletion();
+
+  // Runs every event with fire time <= `when`, then advances the clock to
+  // `when`. Reentrant: may be called from inside an event callback (this is
+  // how the pre-read trigger's wait is realized).
+  void RunUntil(Time when);
+  void RunFor(Time duration) { RunUntil(Now() + duration); }
+
+  // Diagnostics.
+  uint64_t executed_events() const { return executed_events_; }
+  uint64_t skipped_dead_owner_events() const { return skipped_dead_owner_events_; }
+  size_t pending_events() const;
+
+ private:
+  struct Event {
+    Time when = 0;
+    uint64_t seq = 0;
+    EventId id = 0;
+    std::string owner;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopAndRun(Time limit, bool has_limit);
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<EventId> cancelled_;
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t executed_events_ = 0;
+  uint64_t skipped_dead_owner_events_ = 0;
+  std::function<bool(const std::string&)> alive_check_;
+};
+
+}  // namespace ctsim
+
+#endif  // SRC_SIM_EVENT_LOOP_H_

@@ -1,0 +1,52 @@
+#include "src/sim/failure_detector.h"
+
+#include "src/sim/cluster.h"
+
+namespace ctsim {
+
+void FailureDetector::Start() {
+  owner_->Every(check_period_ms_, [this] { Sweep(); });
+}
+
+void FailureDetector::Heartbeat(const std::string& node_id) {
+  last_heartbeat_[node_id] = owner_->cluster().loop().Now();
+}
+
+void FailureDetector::Forget(const std::string& node_id) { last_heartbeat_.erase(node_id); }
+
+void FailureDetector::NotifyLeft(const std::string& node_id) {
+  if (last_heartbeat_.erase(node_id) > 0) {
+    ++lost_count_;
+    on_lost_(node_id);
+  }
+}
+
+bool FailureDetector::IsTracked(const std::string& node_id) const {
+  return last_heartbeat_.count(node_id) > 0;
+}
+
+std::vector<std::string> FailureDetector::tracked() const {
+  std::vector<std::string> out;
+  out.reserve(last_heartbeat_.size());
+  for (const auto& [id, _] : last_heartbeat_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+void FailureDetector::Sweep() {
+  Time now = owner_->cluster().loop().Now();
+  std::vector<std::string> lost;
+  for (const auto& [id, last] : last_heartbeat_) {
+    if (now - last > timeout_ms_) {
+      lost.push_back(id);
+    }
+  }
+  for (const auto& id : lost) {
+    last_heartbeat_.erase(id);
+    ++lost_count_;
+    on_lost_(id);
+  }
+}
+
+}  // namespace ctsim

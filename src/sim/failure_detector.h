@@ -1,0 +1,63 @@
+// Heartbeat-based failure detection (the liveMonitor of Fig. 2).
+//
+// Masters in the mini systems run one of these: worker nodes report
+// heartbeats; a periodic sweep declares any node silent for longer than the
+// timeout LOST and fires the owner's recovery callback. Graceful shutdowns
+// bypass the timeout by calling NotifyLeft directly from the worker's
+// unregister RPC — the same effect as the paper's use of shutdown scripts to
+// "let the node leave the cluster pro-actively, without waiting".
+#ifndef SRC_SIM_FAILURE_DETECTOR_H_
+#define SRC_SIM_FAILURE_DETECTOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/event_loop.h"
+#include "src/sim/node.h"
+
+namespace ctsim {
+
+class FailureDetector {
+ public:
+  // `owner` is the master node hosting the monitor; `on_lost` runs in the
+  // owner's context when a tracked node is declared dead.
+  FailureDetector(Node* owner, Time timeout_ms, Time check_period_ms,
+                  std::function<void(const std::string&)> on_lost)
+      : owner_(owner),
+        timeout_ms_(timeout_ms),
+        check_period_ms_(check_period_ms),
+        on_lost_(std::move(on_lost)) {}
+
+  // Begins the periodic sweep.
+  void Start();
+
+  // Registers or refreshes a tracked node.
+  void Heartbeat(const std::string& node_id);
+
+  // Stops tracking without firing on_lost (node deregistered cleanly and the
+  // caller already ran its leave path).
+  void Forget(const std::string& node_id);
+
+  // Graceful-leave fast path: fires on_lost immediately.
+  void NotifyLeft(const std::string& node_id);
+
+  bool IsTracked(const std::string& node_id) const;
+  std::vector<std::string> tracked() const;
+  int lost_count() const { return lost_count_; }
+
+ private:
+  void Sweep();
+
+  Node* owner_;
+  Time timeout_ms_;
+  Time check_period_ms_;
+  std::function<void(const std::string&)> on_lost_;
+  std::map<std::string, Time> last_heartbeat_;
+  int lost_count_ = 0;
+};
+
+}  // namespace ctsim
+
+#endif  // SRC_SIM_FAILURE_DETECTOR_H_

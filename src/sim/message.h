@@ -1,0 +1,29 @@
+// RPC-style message passed between simulated nodes.
+#ifndef SRC_SIM_MESSAGE_H_
+#define SRC_SIM_MESSAGE_H_
+
+#include <map>
+#include <string>
+
+#include "src/sim/event_loop.h"
+
+namespace ctsim {
+
+struct Message {
+  std::string from;
+  std::string to;
+  std::string method;                       // RPC name, e.g. "commitPending"
+  std::map<std::string, std::string> args;  // named payload fields
+  Time sent_at = 0;
+
+  // Reads a payload field, or empty string if missing.
+  const std::string& Arg(const std::string& key) const {
+    static const std::string kEmpty;
+    auto it = args.find(key);
+    return it == args.end() ? kEmpty : it->second;
+  }
+};
+
+}  // namespace ctsim
+
+#endif  // SRC_SIM_MESSAGE_H_

@@ -1,0 +1,125 @@
+#include "src/sim/node.h"
+
+#include "src/common/check.h"
+#include "src/sim/cluster.h"
+
+namespace ctsim {
+
+const char* NodeStateName(NodeState state) {
+  switch (state) {
+    case NodeState::kStopped:
+      return "STOPPED";
+    case NodeState::kRunning:
+      return "RUNNING";
+    case NodeState::kCrashed:
+      return "CRASHED";
+    case NodeState::kShutdown:
+      return "SHUTDOWN";
+  }
+  return "?";
+}
+
+Node::Node(Cluster* cluster, std::string id) : cluster_(cluster), id_(std::move(id)) {
+  logger_ = std::make_unique<ctlog::Logger>(&cluster_->logs(), id_,
+                                            [this] { return cluster_->loop().Now(); });
+}
+
+Node::~Node() = default;
+
+std::string Node::host() const {
+  size_t colon = id_.rfind(':');
+  return colon == std::string::npos ? id_ : id_.substr(0, colon);
+}
+
+void Node::Start() {
+  CT_CHECK(state_ == NodeState::kStopped);
+  state_ = NodeState::kRunning;
+  OnStart();
+}
+
+void Node::MarkCrashed() { state_ = NodeState::kCrashed; }
+
+void Node::MarkShutdown() { state_ = NodeState::kShutdown; }
+
+void Node::Dispatch(const Message& message) {
+  if (!IsRunning()) {
+    return;
+  }
+  auto it = handlers_.find(message.method);
+  if (it == handlers_.end()) {
+    log().Warn("No handler for RPC {}", {message.method}, "Node.dispatch");
+    return;
+  }
+  RunGuarded(message.method, [&] { it->second(message); });
+}
+
+void Node::RunGuarded(const std::string& context, const std::function<void()>& fn) {
+  // Timer and async events execute in this node's context; the trigger reads
+  // cluster().current_node() to know which process a hook fired on.
+  std::string previous = cluster_->current_node_;
+  cluster_->current_node_ = id_;
+  struct Restore {
+    Cluster* cluster;
+    std::string previous;
+    ~Restore() { cluster->current_node_ = previous; }
+  } restore{cluster_, previous};
+  try {
+    fn();
+  } catch (const SimException& e) {
+    log().Error("Uncommon exception {} : {}", {e.type, e.message}, "Node.dispatch");
+    OnHandlerException(context, e);
+  } catch (const NodeCrashedSignal&) {
+    // The node died mid-handler (post-write crash injection); the remainder
+    // of the handler is simply gone, like the rest of a killed JVM.
+  }
+}
+
+void Node::Handle(const std::string& method, std::function<void(const Message&)> handler) {
+  handlers_[method] = std::move(handler);
+}
+
+void Node::Send(const std::string& to, const std::string& method,
+                std::map<std::string, std::string> args) {
+  Message message;
+  message.from = id_;
+  message.to = to;
+  message.method = method;
+  message.args = std::move(args);
+  message.sent_at = cluster_->loop().Now();
+  cluster_->Post(std::move(message));
+}
+
+void Node::After(Time delay, std::function<void()> fn) {
+  cluster_->loop().Schedule(
+      delay, [this, fn = std::move(fn)] { RunGuarded("timer", fn); }, id_);
+}
+
+void Node::Every(Time period, std::function<void()> fn) {
+  auto shared = std::make_shared<std::function<void()>>(std::move(fn));
+  // The repeating event re-arms itself; owner tagging stops it at death.
+  std::function<void()> tick = [this, period, shared]() {
+    RunGuarded("timer", *shared);
+    if (IsRunning()) {
+      Every(period, *shared);
+    }
+  };
+  cluster_->loop().Schedule(period, std::move(tick), id_);
+}
+
+void Node::OnHandlerException(const std::string& context, const SimException& e) {
+  Abort(e.type + " in " + context + ": " + e.message);
+}
+
+void Node::Abort(const std::string& reason) {
+  if (aborted_) {
+    return;
+  }
+  aborted_ = true;
+  log().Fatal("Aborting node {} : {}", {id_, reason}, "Node.abort");
+  state_ = NodeState::kCrashed;
+  if (critical_) {
+    cluster_->MarkClusterDown(id_ + " aborted: " + reason);
+  }
+}
+
+}  // namespace ctsim

@@ -1,0 +1,124 @@
+// Base class for simulated cluster nodes (JVM processes in the paper's terms).
+//
+// A node has an id of the form "host:port", a lifecycle
+// (stopped → running → crashed/shutdown), a logger, registered RPC handlers,
+// and timer helpers whose events die with the node. Message dispatch is the
+// exception boundary: SimExceptions raised while handling a message are
+// logged and passed to OnException, whose default policy aborts the node —
+// and, for critical nodes, the whole cluster (the YARN-9164 "master aborts,
+// cluster down" failure mode).
+#ifndef SRC_SIM_NODE_H_
+#define SRC_SIM_NODE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/logging/log_store.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/exception.h"
+#include "src/sim/message.h"
+
+namespace ctsim {
+
+class Cluster;
+
+enum class NodeState { kStopped, kRunning, kCrashed, kShutdown };
+
+const char* NodeStateName(NodeState state);
+
+class Node {
+ public:
+  Node(Cluster* cluster, std::string id);
+  virtual ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& id() const { return id_; }
+  // Host part of "host:port".
+  std::string host() const;
+  NodeState state() const { return state_; }
+  bool IsRunning() const { return state_ == NodeState::kRunning; }
+
+  ctlog::Logger& log() { return *logger_; }
+  Cluster& cluster() { return *cluster_; }
+
+  // Lifecycle, driven by the cluster.
+  void Start();
+  void MarkCrashed();
+  void MarkShutdown();
+
+  // Delivers a message: runs the registered handler inside the exception
+  // boundary. Silently drops the message if the node is not running.
+  void Dispatch(const Message& message);
+
+  // Runs `fn` inside the same exception boundary Dispatch uses; `context`
+  // names the executing component for the exception policy (timer callbacks
+  // and async-dispatcher events go through here).
+  void RunGuarded(const std::string& context, const std::function<void()>& fn);
+
+  // RPC handler registration.
+  void Handle(const std::string& method, std::function<void(const Message&)> handler);
+
+  // Sends an RPC to another node via the cluster network.
+  void Send(const std::string& to, const std::string& method,
+            std::map<std::string, std::string> args = {});
+
+  // Timers owned by this node; they do not fire once the node is dead.
+  void After(Time delay, std::function<void()> fn);
+  // Fires every `period` ms until the node dies.
+  void Every(Time period, std::function<void()> fn);
+
+  // True once an unhandled exception aborted this node.
+  bool aborted() const { return aborted_; }
+
+  // Deferred nodes are skipped by Cluster::StartAll and started explicitly
+  // (machines that join the cluster mid-run).
+  void set_defer_start(bool defer) { defer_start_ = defer; }
+  bool defer_start() const { return defer_start_; }
+
+  // Workload-driver nodes (clients) model the off-cluster test harness; the
+  // random-injection baseline never crashes them.
+  void set_workload_driver(bool driver) { workload_driver_ = driver; }
+  bool workload_driver() const { return workload_driver_; }
+
+ protected:
+  // Subclass hooks.
+  virtual void OnStart() {}
+  // Runs during *graceful* shutdown, before the node is marked dead; the
+  // place to send leave/unregister notifications (the paper's shutdown-script
+  // path that lets the cluster skip the failure-detection timeout).
+  virtual void OnShutdown() {}
+  // Unhandled-SimException policy; `context` is the RPC method or timer
+  // context that raised it. Default: abort this node, as a JVM does when a
+  // critical thread dies. Subclasses refine per component (a master may
+  // tolerate state-machine exceptions but die on NullPointerException).
+  virtual void OnHandlerException(const std::string& context, const SimException& e);
+
+  // Aborts the node as a JVM would on an uncaught exception in a critical
+  // thread.
+  void Abort(const std::string& reason);
+
+  // Marked by masters whose death takes the cluster down.
+  void SetCritical() { critical_ = true; }
+  bool critical() const { return critical_; }
+
+ private:
+  friend class Cluster;
+
+  Cluster* cluster_;
+  std::string id_;
+  NodeState state_ = NodeState::kStopped;
+  bool aborted_ = false;
+  bool defer_start_ = false;
+  bool workload_driver_ = false;
+  bool critical_ = false;
+  std::unique_ptr<ctlog::Logger> logger_;
+  std::map<std::string, std::function<void(const Message&)>> handlers_;
+};
+
+}  // namespace ctsim
+
+#endif  // SRC_SIM_NODE_H_

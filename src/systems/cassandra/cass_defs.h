@@ -1,0 +1,62 @@
+// Shared definitions for the mini-Cassandra system under test.
+//
+// Mini-Cassandra is the decentralized one: no master, gossip-based
+// membership, a token ring mapping keys to replica sets, replicated writes
+// through a coordinator, and hinted handoff for replicas that are known to
+// be down. The seeded window is CA-15131: the coordinator resolves a replica
+// from the ring without re-checking liveness, so a node that left between
+// resolution and send fails the request ("Request fails due to using
+// removed node", meta-info InetAddressAndPort).
+#ifndef SRC_SYSTEMS_CASSANDRA_CASS_DEFS_H_
+#define SRC_SYSTEMS_CASSANDRA_CASS_DEFS_H_
+
+#include <string>
+
+#include "src/model/program_model.h"
+
+namespace ctcass {
+
+struct CassConfig {
+  int num_nodes = 3;
+  int replication_factor = 2;
+  uint64_t gossip_ms = 500;
+  uint64_t fd_timeout_ms = 1500;
+  uint64_t fd_sweep_ms = 250;
+  uint64_t client_start_ms = 1500;
+  uint64_t client_retry_ms = 1200;
+  uint64_t client_pacing_ms = 120;
+};
+
+struct CassStatements {
+  int node_joined = -1;  // "Node {} is now part of the cluster"
+  int node_up = -1;      // "InetAddress {} is now UP"
+  int node_down = -1;    // "InetAddress {} is now DOWN"
+  int hint_written = -1;  // "Writing hint for endpoint {}"
+  int key_written = -1;  // "Key {} written to endpoint {}"
+};
+
+struct CassPoints {
+  int coordinator_ring_read = -1;  // CA-15131 pre-read (InetAddressAndPort)
+  int gossip_state_write = -1;     // benign post-write
+  int hint_store_write = -1;       // benign post-write
+  int read_path_read = -1;         // sanity-checked read (pruned)
+};
+
+struct CassIoPoints {
+  int commitlog_append_io = -1;
+};
+
+struct CassArtifacts {
+  ctmodel::ProgramModel model{"Cassandra"};
+  CassStatements stmts;
+  CassPoints points;
+  CassIoPoints io;
+};
+
+const CassArtifacts& GetCassArtifacts();
+
+std::string RowKey(int index);
+
+}  // namespace ctcass
+
+#endif  // SRC_SYSTEMS_CASSANDRA_CASS_DEFS_H_

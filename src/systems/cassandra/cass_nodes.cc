@@ -1,0 +1,193 @@
+#include "src/systems/cassandra/cass_nodes.h"
+
+#include "src/runtime/tracer.h"
+#include "src/sim/exception.h"
+
+namespace ctcass {
+
+using ctsim::Message;
+using ctsim::SimException;
+
+CassNode::CassNode(ctsim::Cluster* cluster, std::string id, std::vector<std::string> seeds,
+                   const CassArtifacts* artifacts, const CassConfig* config)
+    : Node(cluster, std::move(id)), seeds_(std::move(seeds)), artifacts_(artifacts),
+      config_(config) {
+  gossip_fd_ = std::make_unique<ctsim::FailureDetector>(
+      this, config_->fd_timeout_ms, config_->fd_sweep_ms,
+      [this](const std::string& peer) { PeerDown(peer); });
+
+  Handle("gossip", [this](const Message& m) {
+    CT_FRAME("Gossiper.applyStateLocally");
+    gossip_fd_->Heartbeat(m.from);
+    if (std::find(ring_.begin(), ring_.end(), m.from) == ring_.end()) {
+      ring_.push_back(m.from);
+      std::sort(ring_.begin(), ring_.end());
+      // Benign post-write: losing the freshly-seen peer just re-runs the
+      // gossip round.
+      CT_POST_WRITE(artifacts_->points.gossip_state_write, m.from);
+      log().Log(artifacts_->stmts.node_up, {m.from});
+    }
+  });
+  Handle("leaving", [this](const Message& m) { gossip_fd_->NotifyLeft(m.from); });
+  Handle("mutate", [this](const Message& m) { Mutate(m); });
+  Handle("writeRow", [this](const Message& m) {
+    CT_FRAME("Keyspace.apply");
+    CT_IO_BEGIN(artifacts_->io.commitlog_append_io);
+    CT_IO_END(artifacts_->io.commitlog_append_io);
+    data_[m.Arg("key")] = m.Arg("val");
+    Send(m.from, "rowAck", {{"key", m.Arg("key")}, {"client", m.Arg("client")}});
+  });
+  Handle("rowAck", [this](const Message& m) {
+    Send(m.Arg("client"), "mutateReply", {{"key", m.Arg("key")}});
+  });
+}
+
+void CassNode::OnStart() {
+  ring_.push_back(id());
+  log().Log(artifacts_->stmts.node_joined, {id()});
+  Every(config_->gossip_ms, [this] {
+    for (const auto& peer : seeds_) {
+      if (peer != id()) {
+        Send(peer, "gossip", {});
+      }
+    }
+  });
+  gossip_fd_->Start();
+}
+
+void CassNode::OnShutdown() {
+  for (const auto& peer : seeds_) {
+    if (peer != id()) {
+      Send(peer, "leaving", {});
+    }
+  }
+}
+
+void CassNode::OnHandlerException(const std::string& context, const SimException& e) {
+  // UnavailableExceptions are returned to the coordinator's client; the
+  // storage process survives.
+  (void)context;
+  (void)e;
+}
+
+void CassNode::PeerDown(const std::string& peer) {
+  CT_FRAME("Gossiper.markDead");
+  std::erase(ring_, peer);
+  log().Log(artifacts_->stmts.node_down, {peer});
+}
+
+std::vector<std::string> CassNode::ReplicasFor(const std::string& key) {
+  // Token ring over the *live* membership view: re-resolving after a node
+  // leaves maps keys to surviving replicas, so a failed request succeeds on
+  // retry. The CA-15131 window is the gap between this resolution and the
+  // liveness re-check in Mutate. The partitioner hashes the trailing digits
+  // of the key (ByteOrderedPartitioner-style, deterministic for tests).
+  std::vector<std::string> replicas;
+  if (ring_.empty()) {
+    return replicas;
+  }
+  size_t token = 1;
+  for (char c : key) {
+    if (c >= '0' && c <= '9') {
+      token = token * 10 + static_cast<size_t>(c - '0');
+    }
+  }
+  for (int r = 0; r < config_->replication_factor && r < static_cast<int>(ring_.size()); ++r) {
+    replicas.push_back(ring_[(token + r) % ring_.size()]);
+  }
+  return replicas;
+}
+
+void CassNode::Mutate(const Message& m) {
+  CT_FRAME("StorageProxy.performWrite");
+  const std::string key = m.Arg("key");
+  const std::string client = m.from;
+  bool sent = false;
+  for (const std::string& replica : ReplicasFor(key)) {
+    if (replica == id()) {
+      // Local apply: no remote endpoint involved.
+      CT_FRAME("Keyspace.apply");
+      CT_IO_BEGIN(artifacts_->io.commitlog_append_io);
+      CT_IO_END(artifacts_->io.commitlog_append_io);
+      data_[key] = m.Arg("val");
+      if (!sent) {
+        sent = true;
+        Send(client, "mutateReply", {{"key", key}});
+      }
+      log().Log(artifacts_->stmts.key_written, {key, replica});
+      continue;
+    }
+    // CA-15131: the remote replica resolved from the token ring is used
+    // without re-validating against the live view; a node that left during
+    // the wait fails the request.
+    CT_PRE_READ(artifacts_->points.coordinator_ring_read, replica);
+    bool in_ring = std::find(ring_.begin(), ring_.end(), replica) != ring_.end();
+    if (!in_ring) {
+      if (!sent) {
+        throw SimException("UnavailableException",
+                           "Request fails due to using removed node " + replica);
+      }
+      // Secondary replica down: store a hint for later delivery instead.
+      CT_FRAME("HintsService.write");
+      hints_[replica] = key;
+      CT_POST_WRITE(artifacts_->points.hint_store_write, replica);
+      log().Log(artifacts_->stmts.hint_written, {replica});
+      continue;
+    }
+    Send(replica, "writeRow", {{"key", key}, {"val", m.Arg("val")}, {"client", client}});
+    if (!sent) {
+      sent = true;  // consistency level ONE: first replica acks the client
+    }
+    log().Log(artifacts_->stmts.key_written, {key, replica});
+  }
+}
+
+// --- Client -------------------------------------------------------------------
+
+CassClient::CassClient(ctsim::Cluster* cluster, std::string id, std::vector<std::string> servers,
+                       int num_ops, const CassArtifacts* artifacts, const CassConfig* config,
+                       CassJobState* job)
+    : Node(cluster, std::move(id)),
+      servers_(std::move(servers)),
+      num_ops_(num_ops),
+      artifacts_(artifacts),
+      config_(config),
+      job_(job) {
+  Handle("mutateReply", [this](const Message&) {
+    ++serial_;
+    attempts_ = 0;
+    ++completed_;
+    if (completed_ >= num_ops_) {
+      job_->done = true;
+      return;
+    }
+    After(config_->client_pacing_ms, [this] { NextOp(); });
+  });
+}
+
+void CassClient::StartWorkload() {
+  After(config_->client_start_ms, [this] { NextOp(); });
+}
+
+void CassClient::NextOp() {
+  if (job_->done) {
+    return;
+  }
+  const std::string& coordinator = servers_[coordinator_rr_++ % servers_.size()];
+  Send(coordinator, "mutate", {{"key", RowKey(completed_)}, {"val", "v"}});
+  int serial = serial_;
+  After(config_->client_retry_ms, [this, serial] { RetryCheck(serial); });
+}
+
+void CassClient::RetryCheck(int serial) {
+  if (job_->done || serial != serial_) {
+    return;
+  }
+  if (++attempts_ > 40) {
+    job_->failed = true;
+    return;
+  }
+  NextOp();
+}
+
+}  // namespace ctcass

@@ -1,0 +1,90 @@
+// Shared definitions for the mini-HBase system under test.
+//
+// Mini-HBase models an HMaster, RegionServers, and the lower-layer
+// ZooKeeper-like coordination service HBase delegates liveness to. A
+// RegionServer announces itself twice: it reports for duty to the master,
+// and (later, after initializing) registers an ephemeral znode in ZooKeeper.
+// Only the znode gives the cluster crash detection — the gap between the two
+// registrations is exactly the HBASE-22041 startup-hang window of Fig. 9.
+//
+// Seeded windows: HBASE-22041 (startup hang), HBASE-22017 (activation reads
+// a removed meta-server candidate), HBASE-21740 / HBASE-22023 (crash during
+// RegionServer initialization aborts the server-crash procedure; the init
+// window is seconds wide, which is why random injection can find these),
+// HBASE-22050 (balancer reads a region whose server died mid-move), plus the
+// §4.1.3 stuck-OPENING-region timeout and the unresolvable lower-layer
+// ZNode read that reproduces why HBASE-7111/5722/5635 cannot be triggered.
+#ifndef SRC_SYSTEMS_HBASE_HBASE_DEFS_H_
+#define SRC_SYSTEMS_HBASE_HBASE_DEFS_H_
+
+#include <string>
+
+#include "src/model/program_model.h"
+
+namespace cthbase {
+
+struct HBaseConfig {
+  int num_regionservers = 3;  // the third joins mid-run
+  int num_regions = 4;
+  uint64_t rs_report_delay_ms = 300;
+  uint64_t rs_metrics1_ms = 800;    // HBASE-21740 window
+  uint64_t rs_metrics2_ms = 2000;   // HBASE-22023 window
+  uint64_t rs_init_done_ms = 3100;
+  uint64_t rs_zk_register_ms = 3600;  // end of the ZK-blind window
+  uint64_t late_join_ms = 6000;       // rserver3 starts here
+  uint64_t activation_delay_ms = 1500;  // after first serverInfo (HBASE-22017)
+  uint64_t info_retry_ms = 1000;
+  int info_retry_limit_active = 5;  // startup master retries forever (the TODO)
+  uint64_t zk_session_timeout_ms = 2000;
+  uint64_t zk_sweep_ms = 300;
+  uint64_t region_open_ms = 300;
+  uint64_t wal_split_ms = 15000;  // server-crash recovery (HBASE-22050 window)
+  uint64_t balancer_period_ms = 4000;
+  uint64_t stuck_monitor_period_ms = 10000;
+  uint64_t stuck_threshold_ms = 60000;  // §4.1.3: stuck region reassigned late
+  uint64_t client_start_ms = 6000;
+  uint64_t client_retry_ms = 900;
+  uint64_t client_op_pacing_ms = 400;
+  uint64_t session_heartbeat_ms = 600;
+};
+
+struct HBaseStatements {
+  int rs_reported = -1;      // "RegionServer {} reported for duty"
+  int znode_created = -1;    // "RegionServer ephemeral znode {} created by {}"
+  int master_active = -1;    // "Master {} is now active, meta on {}"
+  int region_assigned = -1;  // "Region {} assigned to {}"
+  int region_moving = -1;    // "Region {} moving to {}"
+  int rs_expired = -1;       // "RegionServer {} session expired"
+  int region_opened = -1;    // "Region {} opened on {}"
+};
+
+struct HBasePoints {
+  int master_online_write = -1;     // HBASE-22041 post-write (ServerName)
+  int master_activate_read = -1;    // HBASE-22017 pre-read (ServerName)
+  int master_balancer_read = -1;    // HBASE-22050 pre-read (RegionInfo)
+  int master_status_read = -1;      // benign pre-read (curl)
+  int master_znode_read = -1;       // lower-layer ZNode: never resolvable
+  int rs_metrics1_write = -1;       // HBASE-21740 post-write (MetricsRegionServer)
+  int rs_metrics2_write = -1;       // HBASE-22023 post-write (MetricsRegionServer)
+  int rs_open_region_write = -1;    // assignment-path region write
+  int rs_open_rebalance_write = -1;  // rebalance-path region write (stuck window)
+};
+
+struct HBaseIoPoints {
+  int rs_wal_append_io = -1;  // RegionServer WAL append on each put
+};
+
+struct HBaseArtifacts {
+  ctmodel::ProgramModel model{"HBase"};
+  HBaseStatements stmts;
+  HBasePoints points;
+  HBaseIoPoints io;
+};
+
+const HBaseArtifacts& GetHBaseArtifacts();
+
+std::string RegionName(int index);
+
+}  // namespace cthbase
+
+#endif  // SRC_SYSTEMS_HBASE_HBASE_DEFS_H_

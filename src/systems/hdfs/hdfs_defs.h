@@ -1,0 +1,76 @@
+// Shared definitions for the mini-HDFS system under test.
+//
+// Mini-HDFS models an HA deployment: an active and a standby NameNode
+// sharing an edit-log journal (the QJM stand-in), DataNodes running the
+// BPOfferService register/heartbeat/block-report loop, and a client driving
+// the TestDFSIO+curl workload (write files of replicated blocks, read them
+// back, query FS status over the web path).
+//
+// Seeded windows: HDFS-14216 (x2) — the block placement and block location
+// paths read a DatanodeInfo without revalidating liveness; HDFS-14372 — a
+// DataNode stopped before its block-pool registration completes aborts in
+// the BPOfferService stop path. The active NameNode's edit-log write is the
+// IO point whose crash the standby *tolerates* by truncating the corrupt
+// tail (the LogHeaderCorruptException narrative of §4.2.2).
+#ifndef SRC_SYSTEMS_HDFS_HDFS_DEFS_H_
+#define SRC_SYSTEMS_HDFS_HDFS_DEFS_H_
+
+#include <string>
+
+#include "src/model/program_model.h"
+
+namespace cthdfs {
+
+struct HdfsConfig {
+  int num_datanodes = 3;
+  int replication = 2;
+  int blocks_per_file = 2;
+  uint64_t heartbeat_ms = 800;
+  uint64_t fd_timeout_ms = 1500;
+  uint64_t fd_sweep_ms = 250;
+  uint64_t register_ack_delay_ms = 2500;  // namesystem lock latency (HDFS-14372 window)
+  uint64_t block_store_ms = 300;
+  uint64_t block_report_ms = 1000;
+  uint64_t nn_peer_heartbeat_ms = 400;
+  uint64_t client_op_timeout_ms = 4000;
+};
+
+struct HdfsStatements {
+  int dn_registered = -1;    // "DataNode from {} registered as {}"
+  int block_allocated = -1;  // "Allocated block {} of file {} on datanode {}"
+  int block_received = -1;   // "Received block {} from {}"
+  int bp_registered = -1;    // "Block pool {} on datanode {} registered"
+  int file_complete = -1;    // "File {} is complete"
+  int nn_active = -1;        // "NameNode {} transitioned to active"
+  int dn_removed = -1;       // "Removing dead datanode {}"
+};
+
+struct HdfsPoints {
+  int nn_register_dn_write = -1;   // benign post-write on the datanode map
+  int nn_pick_target_read = -1;    // HDFS-14216 pre-read (write path)
+  int nn_block_location_read = -1;  // HDFS-14216 pre-read (read path)
+  int nn_fs_status_read = -1;      // benign pre-read (curl, File meta-info)
+  int dn_block_report_read = -1;   // HDFS-14372 pre-read (BPOfferService)
+  int nn_journal_replay_read = -1;  // benign pre-read during failover
+};
+
+struct HdfsIoPoints {
+  int nn_editlog_io = -1;   // active NN writes an edit-log record
+  int dn_block_write_io = -1;  // DataNode stores a block replica
+};
+
+struct HdfsArtifacts {
+  ctmodel::ProgramModel model{"HDFS"};
+  HdfsStatements stmts;
+  HdfsPoints points;
+  HdfsIoPoints io;
+};
+
+const HdfsArtifacts& GetHdfsArtifacts();
+
+std::string BlockId(int file, int index);
+std::string FileName(int file);
+
+}  // namespace cthdfs
+
+#endif  // SRC_SYSTEMS_HDFS_HDFS_DEFS_H_

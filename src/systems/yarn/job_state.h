@@ -1,0 +1,15 @@
+// Client-visible job status shared between the YARN run harness and the
+// nodes (the ApplicationMaster sets done, the ResourceManager sets failed).
+#ifndef SRC_SYSTEMS_YARN_JOB_STATE_H_
+#define SRC_SYSTEMS_YARN_JOB_STATE_H_
+
+namespace ctyarn {
+
+struct JobState {
+  bool done = false;
+  bool failed = false;
+};
+
+}  // namespace ctyarn
+
+#endif  // SRC_SYSTEMS_YARN_JOB_STATE_H_

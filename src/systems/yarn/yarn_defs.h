@@ -1,0 +1,121 @@
+// Shared definitions for the mini-YARN system under test.
+//
+// Mini-YARN models the Hadoop2/Yarn + MapReduce stack the paper tests:
+// a ResourceManager (scheduler, application/attempt/container state
+// machines, liveness monitor), NodeManagers hosting containers, and a
+// MapReduce ApplicationMaster running on one of the workers with the
+// two-RPC commit protocol of Fig. 3. The WordCount+curl workload submits a
+// job of `workload_size` map tasks and issues a status query over the web
+// interface path.
+//
+// Two versions are modelled, mirroring how the paper evaluates trunk for new
+// bugs (Table 5) but reproduces historical bugs on the releases that
+// contained them (Table 1): kTrunk carries the twelve unfixed Table 5
+// windows; kLegacy additionally re-opens YARN-5918 (Fig. 2) and MR-3858
+// (Fig. 3), which trunk has fixed.
+#ifndef SRC_SYSTEMS_YARN_YARN_DEFS_H_
+#define SRC_SYSTEMS_YARN_YARN_DEFS_H_
+
+#include <string>
+
+#include "src/model/program_model.h"
+
+namespace ctyarn {
+
+enum class YarnMode { kTrunk, kLegacy };
+
+struct YarnConfig {
+  int num_workers = 3;
+  int node_capacity = 4;        // containers per NodeManager
+  int max_app_attempts = 3;
+  // Virtual-time constants (ms).
+  uint64_t heartbeat_ms = 1000;
+  uint64_t fd_timeout_ms = 1500;
+  uint64_t fd_sweep_ms = 250;
+  // AM container launch + JVM spin-up: deliberately longer than the trigger's
+  // 10 s pre-read wait so a freshly recovered attempt is still uninitialized
+  // when the interrupted read resumes (the YARN-9238 / YARN-9194 windows).
+  uint64_t am_init_ms = 15000;
+  uint64_t async_dispatch_ms = 2500;  // RM internal event queue (YARN-9201 window)
+  uint64_t task_start_delay_ms = 3000;  // container launch → task init begins
+  uint64_t task_init_ms = 2000;         // MR-7178 window
+  uint64_t task_run_ms = 3000;
+  uint64_t commit_io_ms = 300;          // output write between the two commit RPCs
+  uint64_t allocate_spacing_ms = 100;
+  uint64_t confirm_delay_ms = 1200;     // allocation-confirm timer (YARN-9165)
+  uint64_t status_update_ms = 2000;     // app status poller (YARN-9194)
+};
+
+// Ids of the registered logging statements (Fig. 5a).
+struct YarnStatements {
+  int nm_registered = -1;        // "NodeManager from {} registered as {}"
+  int assigned_container = -1;   // "Assigned container {} on host {}"
+  int container_to_attempt = -1; // "Assigned container {} to {}"
+  int jvm_given_task = -1;       // "JVM with ID: {} given task: {}"
+  int app_submitted = -1;        // "Submitted application {}"
+  int master_container = -1;     // "Assigned master container {} on host {} for attempt {}"
+  int am_registered = -1;        // "ApplicationMaster for application {} attempt {} registered on {}"
+  int node_lost = -1;            // "Node {} LOST, removing from cluster"
+  int task_committed = -1;       // "Task {} committed by attempt {}"
+  int app_finished = -1;         // "Application {} finished with state {}"
+};
+
+// Ids of the executable access points, one per traced hook in the runtime
+// code. Negative until the model is built.
+struct YarnPoints {
+  // ResourceManager.
+  int rm_register_node_write = -1;      // benign post-write on nodes map
+  int rm_allocate_current_attempt = -1;  // YARN-9238 pre-read
+  int rm_allocate_node_candidate = -1;   // YARN-9193 pre-read (opportunistic)
+  int rm_allocate_node_guarded = -1;     // guaranteed path, sanity-checked
+  int rm_confirm_container = -1;         // YARN-9165 pre-read (timer)
+  int rm_getschenode_read = -1;          // promoted read (YARN-9164 structure)
+  int rm_complete_container_site = -1;   // promoted site: the YARN-9164 bug
+  int rm_node_report_site = -1;          // promoted site: curl path, handled
+  int rm_app_status_read = -1;           // YARN-9194 pre-read (timer)
+  int rm_container_progress_read = -1;   // YARN-8650 pre-read (a)
+  int rm_container_finishing_read = -1;  // YARN-8650 pre-read (b)
+  int rm_release_attempt_read = -1;      // YARN-9248 pre-read
+  int rm_finish_app_read = -1;           // YARN-8649 pre-read
+  int rm_cluster_status_read = -1;       // benign pre-read (curl)
+  int rm_internal_launched_read = -1;    // YARN-9201 pre-read (async queue)
+  // ApplicationMaster (hosted on a NodeManager).
+  int am_node_resource_read = -1;  // YARN-5918 pre-read (legacy only unguarded)
+  int am_commit_write = -1;        // MR-3858 post-write (legacy only unfixed)
+  int am_task_progress_write = -1;  // benign post-write
+  int am_containers_done_read = -1;  // benign pre-read
+  // NodeManager / task JVM.
+  int nm_task_init_write = -1;   // MR-7178 post-write
+  int nm_jvm_record_write = -1;  // benign post-write
+};
+
+struct YarnIoPoints {
+  int nm_launch_log_io = -1;   // container-launch log write (YARN-9201 window)
+  int nm_task_output_io = -1;  // task output write during commit
+  int rm_state_store_io = -1;  // RM writes its state store on app transitions
+};
+
+// Model plus the id structs the runtime code needs; built once per mode.
+struct YarnArtifacts {
+  YarnMode mode = YarnMode::kTrunk;
+  ctmodel::ProgramModel model{"Hadoop2/Yarn"};
+  YarnStatements stmts;
+  YarnPoints points;
+  YarnIoPoints io;
+};
+
+// Returns the artifacts for `mode`; the instance is built on first use and
+// cached (the program's static structure does not change between runs).
+const YarnArtifacts& GetYarnArtifacts(YarnMode mode);
+
+// Id helpers matching the Hadoop naming conventions.
+std::string AppId(int job);
+std::string AppAttemptId(int job, int attempt);
+std::string ContainerId(int job, int attempt, int container);
+std::string TaskId(int job, int task);
+std::string TaskAttemptId(int job, int task, int retry);
+std::string JvmId(int job, int task, int retry);
+
+}  // namespace ctyarn
+
+#endif  // SRC_SYSTEMS_YARN_YARN_DEFS_H_

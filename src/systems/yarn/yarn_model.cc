@@ -1,0 +1,528 @@
+// Builds the mini-YARN program model: the static structure CrashTuner's
+// analyses consume. Class, field and package names follow the real
+// Hadoop2/Yarn code base (Table 2 of the paper lists many of them).
+#include "src/systems/yarn/yarn_defs.h"
+
+#include <map>
+
+#include "src/common/strings.h"
+#include "src/logging/statement.h"
+#include "src/model/catalog.h"
+
+namespace ctyarn {
+
+namespace {
+
+using ctmodel::AccessKind;
+using ctmodel::AccessPointDecl;
+using ctmodel::FieldDecl;
+using ctmodel::IoMethodDecl;
+using ctmodel::IoPointDecl;
+using ctmodel::LogArg;
+using ctmodel::LogBinding;
+using ctmodel::ProgramModel;
+using ctmodel::TypeDecl;
+
+void AddType(ProgramModel* model, const std::string& name, const std::string& supertype = "",
+             std::vector<std::string> elements = {}, bool closeable = false) {
+  TypeDecl type;
+  type.name = name;
+  type.supertype = supertype;
+  type.element_types = std::move(elements);
+  type.closeable = closeable;
+  model->AddType(type);
+}
+
+void AddField(ProgramModel* model, const std::string& clazz, const std::string& name,
+              const std::string& type, bool ctor_only = false) {
+  FieldDecl field;
+  field.clazz = clazz;
+  field.name = name;
+  field.type = type;
+  field.set_only_in_constructor = ctor_only;
+  model->AddField(field);
+}
+
+struct PointSpec {
+  std::string field;
+  AccessKind kind = AccessKind::kRead;
+  std::string clazz;
+  std::string method;
+  int line = 0;
+  std::string op;
+  bool unused = false;
+  bool sanity = false;
+  bool returned = false;
+  bool executable = true;
+};
+
+int AddPoint(ProgramModel* model, const PointSpec& spec) {
+  AccessPointDecl point;
+  point.field_id = spec.field;
+  point.kind = spec.kind;
+  point.clazz = spec.clazz;
+  point.method = spec.method;
+  point.line = spec.line;
+  point.collection_op = spec.op;
+  point.value_unused = spec.unused;
+  point.sanity_checked = spec.sanity;
+  point.returned_directly = spec.returned;
+  point.executable = spec.executable;
+  return model->AddAccessPoint(point);
+}
+
+void BuildTypes(ProgramModel* model) {
+  ctmodel::AddBaseTypes(model);
+  // Enum state types are base types ("Enum" in the paper's exclusion list).
+  {
+    TypeDecl state;
+    state.name = "yarn.server.resourcemanager.rmapp.RMAppState";
+    state.is_base = true;
+    model->AddType(state);
+  }
+
+  // Node group (Table 2).
+  AddType(model, "yarn.api.records.NodeId");
+  AddType(model, "java.net.InetSocketAddress");
+  AddType(model, "yarn.api.records.impl.pb.NodeIdPBImpl", "yarn.api.records.NodeId");
+  // App attempt group.
+  AddType(model, "yarn.api.records.ApplicationAttemptId");
+  AddType(model, "yarn.server.scheduler.SchedulerApplicationAttempt");
+  AddType(model, "yarn.server.resourcemanager.rmapp.attempt.RMAppAttemptImpl");
+  AddType(model, "yarn.api.records.impl.pb.ApplicationAttemptIdPBImpl",
+          "yarn.api.records.ApplicationAttemptId");
+  // Application group.
+  AddType(model, "yarn.api.records.ApplicationId");
+  AddType(model, "yarn.server.resourcemanager.rmapp.RMAppImpl");
+  AddType(model, "yarn.server.resourcemanager.Application");
+  AddType(model, "yarn.server.nodemanager.containermanager.application.ApplicationImpl");
+  AddType(model, "yarn.api.records.impl.pb.ApplicationIdPBImpl", "yarn.api.records.ApplicationId");
+  // Container group.
+  AddType(model, "yarn.api.records.ContainerId");
+  AddType(model, "yarn.api.records.Container");
+  AddType(model, "yarn.server.nodemanager.containermanager.container.ContainerImpl");
+  AddType(model, "yarn.server.resourcemanager.rmcontainer.RMContainerImpl");
+  AddType(model, "yarn.api.records.impl.pb.ContainerPBImpl", "yarn.api.records.Container");
+  AddType(model, "yarn.api.records.impl.pb.ContainerIdPBImpl", "yarn.api.records.ContainerId");
+  // Task attempt group.
+  AddType(model, "mapreduce.v2.api.records.TaskAttemptId");
+  AddType(model, "mapreduce.MapTaskAttemptImpl");
+  AddType(model, "mapreduce.ReduceTaskAttemptImpl");
+  AddType(model, "mapreduce.v2.app.job.impl.TaskAttemptImpl");
+  AddType(model, "mapreduce.v2.api.records.impl.pb.TaskAttemptIdPBImpl",
+          "mapreduce.v2.api.records.TaskAttemptId");
+  // Task / JVM.
+  AddType(model, "mapreduce.v2.api.records.TaskId");
+  AddType(model, "mapred.JVMId");
+  // Scheduler-internal value type (not meta-info by itself).
+  AddType(model, "yarn.server.scheduler.SchedulerNode");
+
+  // Collections over the above.
+  AddType(model, "HashMap<NodeId,SchedulerNode>", "",
+          {"yarn.api.records.NodeId", "yarn.server.scheduler.SchedulerNode"});
+  AddType(model, "HashMap<ContainerId,RMContainer>", "",
+          {"yarn.api.records.ContainerId", "yarn.server.resourcemanager.rmcontainer.RMContainerImpl"});
+  AddType(model, "HashMap<ApplicationId,RMApp>", "",
+          {"yarn.api.records.ApplicationId", "yarn.server.resourcemanager.rmapp.RMAppImpl"});
+  AddType(model, "HashMap<ApplicationAttemptId,SchedulerApplicationAttempt>", "",
+          {"yarn.api.records.ApplicationAttemptId",
+           "yarn.server.scheduler.SchedulerApplicationAttempt"});
+  AddType(model, "List<NodeId>", "", {"yarn.api.records.NodeId"});
+  AddType(model, "HashMap<TaskId,TaskAttemptId>", "",
+          {"mapreduce.v2.api.records.TaskId", "mapreduce.v2.api.records.TaskAttemptId"});
+  AddType(model, "HashMap<TaskAttemptId,ContainerId>", "",
+          {"mapreduce.v2.api.records.TaskAttemptId", "yarn.api.records.ContainerId"});
+  AddType(model, "HashMap<NodeId,Integer>", "",
+          {"yarn.api.records.NodeId", "java.lang.Integer"});
+  AddType(model, "Set<TaskAttemptId>", "", {"mapreduce.v2.api.records.TaskAttemptId"});
+  AddType(model, "HashMap<JVMId,String>", "", {"mapred.JVMId", "java.lang.String"});
+
+  // IO classes (Table 8): Closeable implementations with read/write methods.
+  AddType(model, "org.apache.hadoop.fs.FSDataOutputStream", "", {}, /*closeable=*/true);
+  AddType(model, "yarn.server.resourcemanager.recovery.FileSystemRMStateStore", "", {},
+          /*closeable=*/true);
+}
+
+void BuildFields(ProgramModel* model) {
+  AddField(model, "AbstractYarnScheduler", "nodes", "HashMap<NodeId,SchedulerNode>");
+  AddField(model, "AbstractYarnScheduler", "containers", "HashMap<ContainerId,RMContainer>");
+  AddField(model, "RMContextImpl", "apps", "HashMap<ApplicationId,RMApp>");
+  AddField(model, "RMContextImpl", "attempts",
+           "HashMap<ApplicationAttemptId,SchedulerApplicationAttempt>");
+  AddField(model, "OpportunisticContainerAllocator", "nodeList", "List<NodeId>");
+  AddField(model, "RMAppImpl", "currentAttempt", "yarn.api.records.ApplicationAttemptId");
+  AddField(model, "RMAppImpl", "state", "yarn.server.resourcemanager.rmapp.RMAppState");
+  AddField(model, "NMContext", "nodeId", "yarn.api.records.NodeId");
+  AddField(model, "NMContext", "hostName", "java.lang.String");
+  AddField(model, "MRAppMaster", "commit", "HashMap<TaskId,TaskAttemptId>");
+  AddField(model, "MRAppMaster", "amContainers", "HashMap<TaskAttemptId,ContainerId>");
+  AddField(model, "MRAppMaster", "amNodes", "HashMap<NodeId,Integer>");
+  AddField(model, "MRAppMaster", "taskProgress", "HashMap<TaskAttemptId,ContainerId>");
+  AddField(model, "JvmTaskRegistry", "launchedJVMs", "Set<TaskAttemptId>");
+  AddField(model, "ContainerLaunch", "jvmRecords", "HashMap<JVMId,String>");
+  // Constructor-only id fields: exercise the containing-class rule of
+  // Definition 2 (RMContainerImpl is the paper's own example).
+  AddField(model, "yarn.server.resourcemanager.rmcontainer.RMContainerImpl", "containerId",
+           "yarn.api.records.ContainerId", /*ctor_only=*/true);
+  AddField(model, "yarn.server.scheduler.SchedulerApplicationAttempt", "attemptId",
+           "yarn.api.records.ApplicationAttemptId", /*ctor_only=*/true);
+  AddField(model, "yarn.server.resourcemanager.rmapp.RMAppImpl", "applicationId",
+           "yarn.api.records.ApplicationId", /*ctor_only=*/true);
+  AddField(model, "mapreduce.v2.app.job.impl.TaskAttemptImpl", "attemptId",
+           "mapreduce.v2.api.records.TaskAttemptId", /*ctor_only=*/true);
+}
+
+void BuildStatements(YarnArtifacts* artifacts) {
+  auto& registry = ctlog::StatementRegistry::Instance();
+  auto& stmts = artifacts->stmts;
+  auto& model = artifacts->model;
+
+  auto bind = [&](int id, std::vector<LogArg> args) {
+    LogBinding binding;
+    binding.statement_id = id;
+    binding.args = std::move(args);
+    model.BindLog(binding);
+  };
+
+  stmts.nm_registered = registry.Register(ctlog::Level::kInfo,
+                                          "NodeManager from {} registered as {}",
+                                          "ResourceTrackerService.registerNodeManager");
+  bind(stmts.nm_registered, {{"java.lang.String", "NMContext.hostName"},
+                             {"yarn.api.records.NodeId", "NMContext.nodeId"}});
+
+  stmts.assigned_container =
+      registry.Register(ctlog::Level::kInfo, "Assigned container {} on host {}",
+                        "AbstractYarnScheduler.allocateContainer");
+  bind(stmts.assigned_container,
+       {{"yarn.api.records.ContainerId", ""}, {"yarn.api.records.NodeId", ""}});
+
+  stmts.container_to_attempt = registry.Register(
+      ctlog::Level::kInfo, "Assigned container {} to {}", "TaskAttemptListener.assign");
+  bind(stmts.container_to_attempt,
+       {{"yarn.api.records.ContainerId", ""}, {"mapreduce.v2.api.records.TaskAttemptId", ""}});
+
+  stmts.jvm_given_task = registry.Register(ctlog::Level::kInfo, "JVM with ID: {} given task: {}",
+                                           "ContainerLaunch.launchJvm");
+  bind(stmts.jvm_given_task,
+       {{"mapred.JVMId", ""}, {"mapreduce.v2.api.records.TaskAttemptId", ""}});
+
+  stmts.app_submitted = registry.Register(ctlog::Level::kInfo, "Submitted application {}",
+                                          "ClientRMService.submitApplication");
+  bind(stmts.app_submitted, {{"yarn.api.records.ApplicationId", ""}});
+
+  stmts.master_container =
+      registry.Register(ctlog::Level::kInfo, "Assigned master container {} on host {} for attempt {}",
+                        "RMAppAttemptImpl.storeAttempt");
+  bind(stmts.master_container,
+       {{"yarn.api.records.ContainerId", ""},
+        {"yarn.api.records.NodeId", ""},
+        {"yarn.api.records.ApplicationAttemptId", ""}});
+
+  stmts.am_registered = registry.Register(
+      ctlog::Level::kInfo, "ApplicationMaster for application {} attempt {} registered on {}",
+      "ApplicationMasterService.registerApplicationMaster");
+  bind(stmts.am_registered, {{"yarn.api.records.ApplicationId", ""},
+                             {"yarn.api.records.ApplicationAttemptId", ""},
+                             {"yarn.api.records.NodeId", ""}});
+
+  stmts.node_lost = registry.Register(ctlog::Level::kWarn, "Node {} LOST, removing from cluster",
+                                      "NodesListManager.handleNodeLost");
+  bind(stmts.node_lost, {{"yarn.api.records.NodeId", ""}});
+
+  stmts.task_committed = registry.Register(ctlog::Level::kInfo, "Task {} committed by attempt {}",
+                                           "TaskAttemptListener.done");
+  bind(stmts.task_committed,
+       {{"mapreduce.v2.api.records.TaskId", ""}, {"mapreduce.v2.api.records.TaskAttemptId", ""}});
+
+  stmts.app_finished = registry.Register(ctlog::Level::kInfo, "Application {} finished with state {}",
+                                         "RMAppImpl.finishApplication");
+  bind(stmts.app_finished, {{"yarn.api.records.ApplicationId", ""},
+                            {"yarn.server.resourcemanager.rmapp.RMAppState", "RMAppImpl.state"}});
+}
+
+void BuildPoints(YarnArtifacts* artifacts) {
+  auto& model = artifacts->model;
+  auto& points = artifacts->points;
+  const bool legacy = artifacts->mode == YarnMode::kLegacy;
+
+  points.rm_register_node_write =
+      AddPoint(&model, {.field = "AbstractYarnScheduler.nodes",
+                        .kind = AccessKind::kWrite,
+                        .clazz = "AbstractYarnScheduler",
+                        .method = "addNode",
+                        .line = 88,
+                        .op = "put"});
+  points.rm_allocate_current_attempt =
+      AddPoint(&model, {.field = "RMAppImpl.currentAttempt",
+                        .kind = AccessKind::kRead,
+                        .clazz = "OpportunisticAMSProcessor",
+                        .method = "allocate",
+                        .line = 4});
+  points.rm_allocate_node_candidate =
+      AddPoint(&model, {.field = "OpportunisticContainerAllocator.nodeList",
+                        .kind = AccessKind::kRead,
+                        .clazz = "OpportunisticContainerAllocator",
+                        .method = "allocateNodes",
+                        .line = 212,
+                        .op = "get"});
+  points.rm_allocate_node_guarded =
+      AddPoint(&model, {.field = "AbstractYarnScheduler.nodes",
+                        .kind = AccessKind::kRead,
+                        .clazz = "CapacityScheduler",
+                        .method = "allocateGuaranteed",
+                        .line = 98,
+                        .op = "get",
+                        .sanity = true});
+  points.rm_confirm_container = AddPoint(&model, {.field = "AbstractYarnScheduler.containers",
+                                                  .kind = AccessKind::kRead,
+                                                  .clazz = "AbstractYarnScheduler",
+                                                  .method = "confirmContainer",
+                                                  .line = 301,
+                                                  .op = "get"});
+
+  // The getScheNode structure of YARN-9164 (Fig. 10): one returned-directly
+  // read promoted to 43 call sites — 5 unused, 25 sanity-checked, 13 kept, of
+  // which two are on executed paths.
+  std::vector<int> sites;
+  points.rm_complete_container_site =
+      AddPoint(&model, {.field = "AbstractYarnScheduler.nodes",
+                        .kind = AccessKind::kRead,
+                        .clazz = "AbstractYarnScheduler",
+                        .method = "completeContainer",
+                        .line = 5});
+  sites.push_back(points.rm_complete_container_site);
+  points.rm_node_report_site = AddPoint(&model, {.field = "AbstractYarnScheduler.nodes",
+                                                 .kind = AccessKind::kRead,
+                                                 .clazz = "NodeListManager",
+                                                 .method = "getNodeReport",
+                                                 .line = 77});
+  sites.push_back(points.rm_node_report_site);
+  for (int i = 0; i < 5; ++i) {
+    sites.push_back(AddPoint(&model, {.field = "AbstractYarnScheduler.nodes",
+                                      .kind = AccessKind::kRead,
+                                      .clazz = "SchedulerUtils",
+                                      .method = "logNodeInfo" + std::to_string(i),
+                                      .line = 10 + i,
+                                      .unused = true,
+                                      .executable = false}));
+  }
+  for (int i = 0; i < 25; ++i) {
+    sites.push_back(AddPoint(&model, {.field = "AbstractYarnScheduler.nodes",
+                                      .kind = AccessKind::kRead,
+                                      .clazz = "CapacityScheduler",
+                                      .method = "nodeUpdate" + std::to_string(i),
+                                      .line = 40 + i,
+                                      .sanity = true,
+                                      .executable = false}));
+  }
+  for (int i = 0; i < 11; ++i) {
+    sites.push_back(AddPoint(&model, {.field = "AbstractYarnScheduler.nodes",
+                                      .kind = AccessKind::kRead,
+                                      .clazz = "FiCaSchedulerApp",
+                                      .method = "reserve" + std::to_string(i),
+                                      .line = 60 + i,
+                                      .executable = false}));
+  }
+  {
+    ctmodel::AccessPointDecl promoted;
+    promoted.field_id = "AbstractYarnScheduler.nodes";
+    promoted.kind = AccessKind::kRead;
+    promoted.clazz = "AbstractYarnScheduler";
+    promoted.method = "getScheNode";
+    promoted.line = 2;
+    promoted.collection_op = "get";
+    promoted.returned_directly = true;
+    promoted.promoted_sites = sites;
+    promoted.executable = false;
+    points.rm_getschenode_read = model.AddAccessPoint(promoted);
+  }
+
+  points.rm_app_status_read = AddPoint(&model, {.field = "RMContextImpl.apps",
+                                                .kind = AccessKind::kRead,
+                                                .clazz = "RMAppImpl",
+                                                .method = "statusUpdate",
+                                                .line = 510,
+                                                .op = "get"});
+  points.rm_container_progress_read = AddPoint(&model, {.field = "AbstractYarnScheduler.containers",
+                                                        .kind = AccessKind::kRead,
+                                                        .clazz = "ContainerImpl",
+                                                        .method = "handle",
+                                                        .line = 120,
+                                                        .op = "get"});
+  points.rm_container_finishing_read = AddPoint(&model, {.field = "AbstractYarnScheduler.containers",
+                                                         .kind = AccessKind::kRead,
+                                                         .clazz = "ContainerImpl",
+                                                         .method = "handle",
+                                                         .line = 145,
+                                                         .op = "get"});
+  points.rm_release_attempt_read = AddPoint(&model, {.field = "RMContextImpl.attempts",
+                                                     .kind = AccessKind::kRead,
+                                                     .clazz = "SchedulerApplicationAttempt",
+                                                     .method = "releaseContainers",
+                                                     .line = 233,
+                                                     .op = "get"});
+  points.rm_finish_app_read = AddPoint(&model, {.field = "RMContextImpl.apps",
+                                                .kind = AccessKind::kRead,
+                                                .clazz = "RMAppImpl",
+                                                .method = "finishApplication",
+                                                .line = 620,
+                                                .op = "get"});
+  points.rm_cluster_status_read = AddPoint(&model, {.field = "RMContextImpl.apps",
+                                                    .kind = AccessKind::kRead,
+                                                    .clazz = "ClientRMService",
+                                                    .method = "getClusterStatus",
+                                                    .line = 145,
+                                                    .op = "get"});
+  points.rm_internal_launched_read = AddPoint(&model, {.field = "AbstractYarnScheduler.containers",
+                                                       .kind = AccessKind::kRead,
+                                                       .clazz = "RMContainerImpl",
+                                                       .method = "processLaunched",
+                                                       .line = 402,
+                                                       .op = "get"});
+
+  // ApplicationMaster side. Trunk carries the YARN-5918 fix (a sanity check
+  // before using the node resource), so the point is pruned there; the
+  // legacy model lacks the check, reproducing Fig. 2.
+  points.am_node_resource_read = AddPoint(&model, {.field = "MRAppMaster.amNodes",
+                                                   .kind = AccessKind::kRead,
+                                                   .clazz = "MRAppMaster",
+                                                   .method = "getNodeResource",
+                                                   .line = 2,
+                                                   .op = "get",
+                                                   .sanity = !legacy});
+  points.am_commit_write = AddPoint(&model, {.field = "MRAppMaster.commit",
+                                             .kind = AccessKind::kWrite,
+                                             .clazz = "TaskAttemptListener",
+                                             .method = "commitPending",
+                                             .line = 2,
+                                             .op = "put"});
+  points.am_task_progress_write = AddPoint(&model, {.field = "MRAppMaster.taskProgress",
+                                                    .kind = AccessKind::kWrite,
+                                                    .clazz = "MRAppMaster",
+                                                    .method = "statusUpdate",
+                                                    .line = 320,
+                                                    .op = "put"});
+  points.am_containers_done_read = AddPoint(&model, {.field = "MRAppMaster.amContainers",
+                                                     .kind = AccessKind::kRead,
+                                                     .clazz = "TaskAttemptListener",
+                                                     .method = "done",
+                                                     .line = 140,
+                                                     .op = "get"});
+
+  // NodeManager / task JVM side.
+  points.nm_task_init_write = AddPoint(&model, {.field = "JvmTaskRegistry.launchedJVMs",
+                                                .kind = AccessKind::kWrite,
+                                                .clazz = "TaskAttemptImpl",
+                                                .method = "initialize",
+                                                .line = 55,
+                                                .op = "add"});
+  points.nm_jvm_record_write = AddPoint(&model, {.field = "ContainerLaunch.jvmRecords",
+                                                 .kind = AccessKind::kWrite,
+                                                 .clazz = "ContainerLaunch",
+                                                 .method = "launchJvm",
+                                                 .line = 71,
+                                                 .op = "put"});
+}
+
+void BuildIoPoints(YarnArtifacts* artifacts) {
+  auto& model = artifacts->model;
+  model.AddIoMethod({"org.apache.hadoop.fs.FSDataOutputStream", "write"});
+  model.AddIoMethod({"org.apache.hadoop.fs.FSDataOutputStream", "flush"});
+  model.AddIoMethod({"org.apache.hadoop.fs.FSDataOutputStream", "close"});
+  model.AddIoMethod(
+      {"yarn.server.resourcemanager.recovery.FileSystemRMStateStore", "writeApplicationState"});
+
+  IoPointDecl launch_log;
+  launch_log.io_class = "org.apache.hadoop.fs.FSDataOutputStream";
+  launch_log.io_method = "write";
+  launch_log.callsite = "ContainerLaunch.writeLaunchLog";
+  launch_log.executable = true;
+  artifacts->io.nm_launch_log_io = model.AddIoPoint(launch_log);
+
+  IoPointDecl task_output;
+  task_output.io_class = "org.apache.hadoop.fs.FSDataOutputStream";
+  task_output.io_method = "write";
+  task_output.callsite = "FileOutputCommitter.writeOutput";
+  task_output.executable = true;
+  artifacts->io.nm_task_output_io = model.AddIoPoint(task_output);
+
+  IoPointDecl state_store;
+  state_store.io_class = "yarn.server.resourcemanager.recovery.FileSystemRMStateStore";
+  state_store.io_method = "writeApplicationState";
+  state_store.callsite = "RMStateStore.storeApp";
+  state_store.executable = false;
+  artifacts->io.rm_state_store_io = model.AddIoPoint(state_store);
+}
+
+void BuildCatalog(ProgramModel* model) {
+  ctmodel::CatalogSpec spec;
+  spec.packages = {"org.apache.hadoop.yarn.server.resourcemanager",
+                   "org.apache.hadoop.yarn.server.nodemanager",
+                   "org.apache.hadoop.yarn.api.records",
+                   "org.apache.hadoop.mapreduce.v2.app",
+                   "org.apache.hadoop.yarn.client",
+                   "org.apache.hadoop.yarn.util",
+                   "org.apache.hadoop.yarn.server.webproxy"};
+  spec.stems = {"Scheduler",  "Allocator", "Tracker",   "Monitor", "Dispatcher",
+                "Context",    "Token",     "Resource",  "Localizer", "Aggregator",
+                "Publisher",  "Router",    "Registry",  "Queue",     "Reservation"};
+  spec.suffixes = {"Impl", "Service", "Event", "Handler", "Manager", "Util", "PBImpl", "Factory"};
+  spec.num_classes = 540;
+  spec.metainfo_field_types = {
+      "yarn.api.records.NodeId", "yarn.api.records.ContainerId",
+      "yarn.api.records.ApplicationId", "yarn.api.records.ApplicationAttemptId",
+      "mapreduce.v2.api.records.TaskAttemptId"};
+  spec.holders_per_metainfo_type = 4;
+  spec.seed = 0xa5;
+  PopulateCatalog(model, spec);
+}
+
+YarnArtifacts* BuildArtifacts(YarnMode mode) {
+  auto* artifacts = new YarnArtifacts();
+  artifacts->mode = mode;
+  artifacts->model = ProgramModel(mode == YarnMode::kLegacy ? "Hadoop2/Yarn(legacy)"
+                                                            : "Hadoop2/Yarn");
+  BuildTypes(&artifacts->model);
+  BuildFields(&artifacts->model);
+  BuildStatements(artifacts);
+  BuildPoints(artifacts);
+  BuildIoPoints(artifacts);
+  BuildCatalog(&artifacts->model);
+  return artifacts;
+}
+
+}  // namespace
+
+const YarnArtifacts& GetYarnArtifacts(YarnMode mode) {
+  static const YarnArtifacts* trunk = BuildArtifacts(YarnMode::kTrunk);
+  static const YarnArtifacts* legacy = BuildArtifacts(YarnMode::kLegacy);
+  return mode == YarnMode::kLegacy ? *legacy : *trunk;
+}
+
+std::string AppId(int job) { return "application_1550060164_" + std::to_string(1000 + job); }
+
+std::string AppAttemptId(int job, int attempt) {
+  return "appattempt_1550060164_" + std::to_string(1000 + job) + "_" +
+         std::to_string(attempt);
+}
+
+std::string ContainerId(int job, int attempt, int container) {
+  return "container_1550060164_" + std::to_string(1000 + job) + "_" + std::to_string(attempt) +
+         "_" + std::to_string(container);
+}
+
+std::string TaskId(int job, int task) {
+  return "task_1550060164_" + std::to_string(1000 + job) + "_m_" + std::to_string(task);
+}
+
+std::string TaskAttemptId(int job, int task, int retry) {
+  return "attempt_1550060164_" + std::to_string(1000 + job) + "_m_" + std::to_string(task) + "_" +
+         std::to_string(retry);
+}
+
+std::string JvmId(int job, int task, int retry) {
+  return "jvm_1550060164_" + std::to_string(1000 + job) + "_m_" + std::to_string(task) + "_" +
+         std::to_string(retry);
+}
+
+}  // namespace ctyarn

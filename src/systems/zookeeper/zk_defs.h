@@ -1,0 +1,70 @@
+// Shared definitions for the mini-ZooKeeper system under test.
+//
+// Mini-ZooKeeper reproduces the paper's *negative* result (§4.1.2
+// discussion): unlike the other systems, every node keeps a full replica of
+// the global state, so crash points exist (40 dynamic points in the paper)
+// but injections only ever surface handled IO exceptions — CrashTuner finds
+// no new bugs. The quorum elects the highest-id live peer as leader; writes
+// are forwarded to the leader, replicated to followers, then committed. A
+// leader crash mid-commit leaves a torn transaction that the next leader
+// truncates with a *handled* EOFException, one of the paper's "4 different
+// types of IO exceptions ... all handled by the system".
+//
+// The logging is deliberately sparse and node identity is an Integer myid —
+// the conditions the paper blames for ZooKeeper's small meta-info yield.
+#ifndef SRC_SYSTEMS_ZOOKEEPER_ZK_DEFS_H_
+#define SRC_SYSTEMS_ZOOKEEPER_ZK_DEFS_H_
+
+#include <string>
+
+#include "src/model/program_model.h"
+
+namespace ctzk {
+
+struct ZkConfig {
+  int num_peers = 3;
+  uint64_t gossip_ms = 500;
+  uint64_t fd_timeout_ms = 1500;
+  uint64_t fd_sweep_ms = 250;
+  uint64_t commit_delay_ms = 40;
+  uint64_t client_start_ms = 1500;
+  uint64_t client_retry_ms = 2500;
+  uint64_t client_pacing_ms = 150;
+};
+
+struct ZkStatements {
+  int peer_up = -1;        // "Peer {} joined the quorum with myid {}"
+  int leading = -1;        // "Peer {} LEADING the quorum"
+  int session_opened = -1;  // "Session {} established on server {}"
+  int znode_created = -1;  // "Created znode {} on server {}"
+  int recovering = -1;     // "Recovering from snapshot with {} znodes"
+};
+
+struct ZkPoints {
+  int leader_session_read = -1;  // pre-read: session on the write path
+  int znode_create_write = -1;   // post-write: znode map insert
+  int znode_get_read = -1;       // pre-read: znode map lookup
+  int quorum_member_write = -1;  // post-write: quorum view update
+  int leader_ref_read = -1;      // pre-read: follower forwards to its leader
+};
+
+struct ZkIoPoints {
+  int txnlog_append_io = -1;  // follower/leader transaction-log append
+  int snapshot_write_io = -1;  // periodic snapshot
+};
+
+struct ZkArtifacts {
+  ctmodel::ProgramModel model{"ZooKeeper"};
+  ZkStatements stmts;
+  ZkPoints points;
+  ZkIoPoints io;
+};
+
+const ZkArtifacts& GetZkArtifacts();
+
+std::string ZnodePath(int index);
+std::string SessionId(int index);
+
+}  // namespace ctzk
+
+#endif  // SRC_SYSTEMS_ZOOKEEPER_ZK_DEFS_H_

@@ -1,0 +1,89 @@
+// Mini-ZooKeeper nodes: quorum peers with full state replication, plus the
+// SmokeTest client.
+#ifndef SRC_SYSTEMS_ZOOKEEPER_ZK_NODES_H_
+#define SRC_SYSTEMS_ZOOKEEPER_ZK_NODES_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/sim/cluster.h"
+#include "src/sim/failure_detector.h"
+#include "src/systems/zookeeper/zk_defs.h"
+
+namespace ctzk {
+
+struct ZkJobState {
+  bool done = false;
+  bool failed = false;
+};
+
+// Run-shared marker for a write that was in flight when the leader died; the
+// next leader truncates the torn record with a handled exception.
+struct QuorumShared {
+  bool write_in_flight = false;
+};
+
+class ZkPeer : public ctsim::Node {
+ public:
+  ZkPeer(ctsim::Cluster* cluster, std::string id, int myid, std::vector<std::string> peers,
+         const ZkArtifacts* artifacts, const ZkConfig* config, QuorumShared* shared);
+
+  bool IsLeader() const;
+  const std::map<std::string, std::string>& znodes() const { return znodes_; }
+
+ protected:
+  void OnStart() override;
+
+ private:
+  void CreateRequest(const ctsim::Message& m);
+  void GetRequest(const ctsim::Message& m);
+  void ApplyCreate(const std::string& path, const std::string& data);
+  void PeerLost(const std::string& peer);
+  std::string LeaderId() const;
+
+  int myid_;
+  std::vector<std::string> peers_;  // all quorum members including self
+  const ZkArtifacts* artifacts_;
+  const ZkConfig* config_;
+  QuorumShared* shared_;
+
+  std::set<std::string> alive_peers_;
+  std::map<std::string, std::string> znodes_;    // DataTree.nodes (full replica)
+  std::map<std::string, std::string> sessions_;  // SessionTracker.sessionsById
+  std::string current_leader_;
+  std::set<std::string> pending_commits_;
+  bool announced_leading_ = false;
+  int session_counter_ = 0;
+  std::unique_ptr<ctsim::FailureDetector> peer_fd_;
+};
+
+class ZkClient : public ctsim::Node {
+ public:
+  ZkClient(ctsim::Cluster* cluster, std::string id, std::vector<std::string> servers, int num_ops,
+           const ZkArtifacts* artifacts, const ZkConfig* config, ZkJobState* job);
+
+  void StartWorkload();
+
+ private:
+  void NextOp();
+  void RetryCheck(int serial);
+
+  std::vector<std::string> servers_;
+  int num_ops_;
+  const ZkArtifacts* artifacts_;
+  const ZkConfig* config_;
+  ZkJobState* job_;
+
+  int completed_ = 0;
+  bool reading_ = false;
+  int serial_ = 0;
+  int attempts_ = 0;
+  size_t server_rr_ = 0;
+};
+
+}  // namespace ctzk
+
+#endif  // SRC_SYSTEMS_ZOOKEEPER_ZK_NODES_H_

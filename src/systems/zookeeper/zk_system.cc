@@ -1,0 +1,51 @@
+#include "src/systems/zookeeper/zk_system.h"
+
+#include "src/systems/zookeeper/zk_nodes.h"
+
+namespace ctzk {
+
+namespace {
+
+class ZkRun : public ctcore::WorkloadRun {
+ public:
+  ZkRun(const ZkSystem* system, int workload_size, uint64_t seed)
+      : system_(system), workload_size_(workload_size), cluster_(seed) {
+    const ZkArtifacts* artifacts = &GetZkArtifacts();
+    const ZkConfig* config = &system_->config();
+    shared_ = std::make_unique<QuorumShared>();
+    std::vector<std::string> peers;
+    for (int i = 1; i <= config->num_peers; ++i) {
+      peers.push_back("zkpeer" + std::to_string(i) + ":2888");
+    }
+    for (int i = 1; i <= config->num_peers; ++i) {
+      cluster_.AddNode<ZkPeer>(peers[i - 1], i, peers, artifacts, config, shared_.get());
+    }
+    client_ = cluster_.AddNode<ZkClient>("zksmoke:11221", peers, workload_size * 2, artifacts,
+                                         config, &job_);
+    client_->set_workload_driver(true);
+  }
+
+  ctsim::Cluster& cluster() override { return cluster_; }
+  void Start() override { client_->StartWorkload(); }
+  bool JobFinished() const override { return job_.done; }
+  bool JobFailed() const override { return job_.failed; }
+  ctsim::Time ExpectedDurationMs() const override {
+    return 3000 + static_cast<ctsim::Time>(workload_size_) * 1200;
+  }
+
+ private:
+  const ZkSystem* system_;
+  int workload_size_;
+  ctsim::Cluster cluster_;
+  std::unique_ptr<QuorumShared> shared_;
+  ZkJobState job_;
+  ZkClient* client_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<ctcore::WorkloadRun> ZkSystem::NewRun(int workload_size, uint64_t seed) const {
+  return std::make_unique<ZkRun>(this, workload_size, seed);
+}
+
+}  // namespace ctzk

@@ -1,0 +1,35 @@
+// SystemUnderTest adapter for mini-ZooKeeper (Table 4 row 4: SmokeTest+curl).
+#ifndef SRC_SYSTEMS_ZOOKEEPER_ZK_SYSTEM_H_
+#define SRC_SYSTEMS_ZOOKEEPER_ZK_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/system_under_test.h"
+#include "src/systems/zookeeper/zk_defs.h"
+
+namespace ctzk {
+
+class ZkSystem : public ctcore::SystemUnderTest {
+ public:
+  explicit ZkSystem(ZkConfig config = ZkConfig()) : config_(config) {}
+
+  std::string name() const override { return "ZooKeeper"; }
+  std::string version() const override { return "3.5.4-beta"; }
+  std::string workload_name() const override { return "SmokeTest+curl"; }
+  const ctmodel::ProgramModel& model() const override { return GetZkArtifacts().model; }
+  std::unique_ptr<ctcore::WorkloadRun> NewRun(int workload_size, uint64_t seed) const override;
+  int default_workload_size() const override { return 4; }
+  // No new bugs: the paper found none in ZooKeeper and neither should we.
+  std::vector<ctcore::KnownBug> known_bugs() const override { return {}; }
+
+  const ZkConfig& config() const { return config_; }
+
+ private:
+  ZkConfig config_;
+};
+
+}  // namespace ctzk
+
+#endif  // SRC_SYSTEMS_ZOOKEEPER_ZK_SYSTEM_H_

@@ -1,0 +1,222 @@
+// Tests for the core pipeline: executor verdicts, profiler fixpoint, trigger
+// mechanics, triage, the baselines, and the study database.
+#include <gtest/gtest.h>
+
+#include "src/core/baselines.h"
+#include "src/core/crashtuner.h"
+#include "src/core/executor.h"
+#include "src/core/profiler.h"
+#include "src/study/bug_study.h"
+#include "src/systems/yarn/yarn_system.h"
+
+namespace ctcore {
+namespace {
+
+TEST(RunOutcome, PrimarySymptomPriorities) {
+  RunOutcome outcome;
+  EXPECT_EQ(outcome.PrimarySymptom(), "ok");
+  outcome.timeout_issue = true;
+  EXPECT_EQ(outcome.PrimarySymptom(), "timeout");
+  outcome.uncommon_exceptions.push_back("X");
+  EXPECT_EQ(outcome.PrimarySymptom(), "uncommon exception");
+  outcome.failed = true;
+  EXPECT_EQ(outcome.PrimarySymptom(), "job failure");
+  outcome.hang = true;
+  EXPECT_EQ(outcome.PrimarySymptom(), "system hang");
+  outcome.cluster_down = true;
+  EXPECT_EQ(outcome.PrimarySymptom(), "cluster down");
+}
+
+TEST(RunOutcome, IsBugCoversThePaperOracle) {
+  RunOutcome outcome;
+  EXPECT_FALSE(outcome.IsBug());
+  outcome.timeout_issue = true;
+  EXPECT_FALSE(outcome.IsBug()) << "timeout issues are reported separately (§4.1.3)";
+  outcome.uncommon_exceptions.push_back("X");
+  EXPECT_TRUE(outcome.IsBug());
+}
+
+TEST(Executor, BaselineWhitelistsCommonExceptions) {
+  OracleBaseline baseline;
+  baseline.common_exception_types.insert("KnownException");
+  ctyarn::YarnSystem yarn;
+  auto run = yarn.NewRun(2, 51);
+  RunOutcome outcome = Executor::Execute(*run, &baseline);
+  EXPECT_TRUE(outcome.uncommon_exceptions.empty());
+}
+
+TEST(Profiler, ConvergesWithinThreeIterations) {
+  ctyarn::YarnSystem yarn;
+  const auto& model = yarn.model();
+  std::set<int> all_points;
+  for (const auto& point : model.access_points()) {
+    if (point.executable) {
+      all_points.insert(point.id);
+    }
+  }
+  Profiler profiler;
+  ProfileResult result = profiler.Profile(yarn, all_points, {}, 61);
+  EXPECT_LE(result.iterations, Profiler::kMaxIterations);
+  EXPECT_GE(result.iterations, 2);
+  EXPECT_FALSE(result.dynamic_access_points.empty());
+  EXPECT_GT(result.normal_duration_ms, 0u);
+  EXPECT_FALSE(result.default_run_logs.empty());
+}
+
+TEST(Profiler, SyntheticPointsNeverBecomeDynamic) {
+  ctyarn::YarnSystem yarn;
+  const auto& model = yarn.model();
+  std::set<int> synthetic;
+  for (const auto& point : model.access_points()) {
+    if (point.synthetic) {
+      synthetic.insert(point.id);
+    }
+  }
+  Profiler profiler;
+  ProfileResult result = profiler.Profile(yarn, synthetic, {}, 62);
+  EXPECT_TRUE(result.dynamic_access_points.empty());
+}
+
+TEST(Triage, UnknownFailuresGetNewPrefix) {
+  ctyarn::YarnSystem yarn;
+  std::vector<InjectionResult> injections(1);
+  injections[0].injected = true;
+  injections[0].location = "Nowhere.method:1";
+  injections[0].outcome.failed = true;
+  auto bugs = TriageBugs(yarn, injections);
+  ASSERT_EQ(bugs.size(), 1u);
+  EXPECT_EQ(bugs[0].bug_id, "NEW-Nowhere.method:1");
+}
+
+TEST(Triage, LocationAndExceptionSelectKnownBug) {
+  ctyarn::YarnSystem yarn;
+  std::vector<InjectionResult> injections(1);
+  injections[0].injected = true;
+  injections[0].location = "AbstractYarnScheduler.completeContainer:5";
+  injections[0].kind = ctanalysis::CrashPointKind::kPreRead;
+  injections[0].outcome.cluster_down = true;
+  injections[0].outcome.uncommon_exceptions.push_back(
+      "NullPointerException: completeContainer on removed node node1:42349");
+  auto bugs = TriageBugs(yarn, injections);
+  ASSERT_EQ(bugs.size(), 1u);
+  EXPECT_EQ(bugs[0].bug_id, "YARN-9164");
+  EXPECT_EQ(bugs[0].priority, "Critical");
+}
+
+TEST(Triage, DeduplicatesByIssue) {
+  ctyarn::YarnSystem yarn;
+  std::vector<InjectionResult> injections(2);
+  for (auto& injection : injections) {
+    injection.injected = true;
+    injection.location = "AbstractYarnScheduler.completeContainer:5";
+    injection.outcome.cluster_down = true;
+    injection.outcome.uncommon_exceptions.push_back(
+        "NullPointerException: completeContainer on removed node nodeX");
+  }
+  injections[1].point.stack_key = "different-context";
+  auto bugs = TriageBugs(yarn, injections);
+  ASSERT_EQ(bugs.size(), 1u);
+  EXPECT_EQ(bugs[0].exposing_points.size(), 2u);
+}
+
+TEST(Triage, BenignInjectionsProduceNoBugs) {
+  ctyarn::YarnSystem yarn;
+  std::vector<InjectionResult> injections(3);
+  for (auto& injection : injections) {
+    injection.injected = true;
+    injection.location = "X.y:1";
+  }
+  EXPECT_TRUE(TriageBugs(yarn, injections).empty());
+}
+
+TEST(RandomBaseline, RunsRequestedTrials) {
+  ctyarn::YarnSystem yarn;
+  RandomCrashInjector injector;
+  BaselineReport report = injector.Run(yarn, 20, 71);
+  EXPECT_EQ(report.trials, 20);
+  EXPECT_GT(report.virtual_hours, 0.0);
+  // 20 random trials in a ~28 s run rarely hit a window; bugs ⊆ failing.
+  EXPECT_LE(report.bugs.size(), report.failing_trials.size());
+}
+
+TEST(IoBaseline, CountsIoSurface) {
+  ctyarn::YarnSystem yarn;
+  IoFaultInjector injector;
+  BaselineReport report = injector.Run(yarn, 73);
+  EXPECT_GT(report.io_classes, 0);
+  EXPECT_GT(report.io_methods, 0);
+  EXPECT_GT(report.static_io_points, 0);
+  EXPECT_GT(report.dynamic_io_points, 0);
+  // Two trials per dynamic point: before and after.
+  EXPECT_EQ(report.trials, report.dynamic_io_points * 2);
+}
+
+TEST(IoBaseline, FindsOnlyYarn9201OnTrunk) {
+  // §4.2.2: IO fault injection triggers YARN-9201 and nothing else, because
+  // the real crash points are far from IO points and IO faults are handled.
+  ctyarn::YarnSystem yarn;
+  IoFaultInjector injector;
+  BaselineReport report = injector.Run(yarn, 74);
+  for (const auto& bug : report.bugs) {
+    EXPECT_EQ(bug.bug_id, "YARN-9201") << bug.bug_id;
+  }
+  ASSERT_EQ(report.bugs.size(), 1u);
+}
+
+// --- Study database -------------------------------------------------------------
+
+TEST(Study, CountsMatchThePaper) {
+  ctstudy::StudySummary summary = ctstudy::Summarize();
+  EXPECT_EQ(summary.total, 66);
+  EXPECT_EQ(summary.timing_sensitive, 52);
+  EXPECT_EQ(summary.non_timing_sensitive, 14);
+  EXPECT_EQ(summary.pre_read, 37);
+  EXPECT_EQ(summary.post_write, 15);
+  EXPECT_EQ(summary.reproduced_by_paper, 59);
+}
+
+TEST(Study, PerSystemBreakdownMatchesTable1) {
+  ctstudy::StudySummary summary = ctstudy::Summarize();
+  EXPECT_EQ(summary.per_system.at("Hadoop2"), 17);
+  EXPECT_EQ(summary.per_system.at("HDFS"), 7);
+  EXPECT_EQ(summary.per_system.at("HBase"), 27);
+  EXPECT_EQ(summary.per_system.at("ZooKeeper"), 1);
+}
+
+TEST(Study, HRegionServerDominatesHBase) {
+  ctstudy::StudySummary summary = ctstudy::Summarize();
+  EXPECT_EQ(summary.per_metainfo.at("HRegionServer"), 15);
+}
+
+TEST(Study, SevenBugsNotReproducedWithReasons) {
+  int not_reproduced = 0;
+  for (const auto& bug : ctstudy::StudiedBugs()) {
+    if (!bug.reproduced_by_paper) {
+      ++not_reproduced;
+      EXPECT_FALSE(bug.not_reproduced_reason.empty()) << bug.id;
+    }
+  }
+  EXPECT_EQ(not_reproduced, 7);
+}
+
+TEST(Study, FixComplexityMatchesTable6) {
+  const auto& rows = ctstudy::FixComplexity();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].dataset, "CREB bugs");
+  EXPECT_DOUBLE_EQ(rows[0].days_to_fix, 92.0);
+  EXPECT_DOUBLE_EQ(rows[1].days_to_fix, 16.8);
+  EXPECT_LT(rows[1].comments, rows[0].comments);
+}
+
+TEST(Study, KubernetesTableHas14Bugs) {
+  const auto& bugs = ctstudy::KubernetesBugs();
+  EXPECT_EQ(bugs.size(), 14u);
+  int node = 0;
+  for (const auto& bug : bugs) {
+    node += bug.metainfo == "Node" ? 1 : 0;
+  }
+  EXPECT_EQ(node, 8);
+}
+
+}  // namespace
+}  // namespace ctcore

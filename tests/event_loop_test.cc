@@ -1,0 +1,141 @@
+// Tests for the deterministic event loop: total ordering, cancellation,
+// owner-liveness filtering, reentrant draining, and determinism.
+#include "src/sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ctsim {
+namespace {
+
+TEST(EventLoop, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(30, [&] { order.push_back(3); });
+  loop.Schedule(10, [&] { order.push_back(1); });
+  loop.Schedule(20, [&] { order.push_back(2); });
+  loop.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.Now(), 30u);
+}
+
+TEST(EventLoop, TiesBreakBySchedulingOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.Schedule(10, [&order, i] { order.push_back(i); });
+  }
+  loop.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  EventId id = loop.Schedule(10, [&] { ran = true; });
+  loop.Cancel(id);
+  loop.RunToCompletion();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, DeadOwnerEventsAreSkipped) {
+  EventLoop loop;
+  bool alive_ran = false;
+  bool dead_ran = false;
+  loop.SetOwnerAliveCheck([](const std::string& owner) { return owner == "alive"; });
+  loop.Schedule(5, [&] { alive_ran = true; }, "alive");
+  loop.Schedule(5, [&] { dead_ran = true; }, "dead");
+  loop.RunToCompletion();
+  EXPECT_TRUE(alive_ran);
+  EXPECT_FALSE(dead_ran);
+  EXPECT_EQ(loop.skipped_dead_owner_events(), 1u);
+}
+
+TEST(EventLoop, OwnerCheckedAtFireTimeNotScheduleTime) {
+  EventLoop loop;
+  bool node_alive = true;
+  bool ran = false;
+  loop.SetOwnerAliveCheck([&](const std::string&) { return node_alive; });
+  loop.Schedule(10, [&] { ran = true; }, "node");
+  loop.Schedule(5, [&] { node_alive = false; });  // crash before the timer fires
+  loop.RunToCompletion();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, RunUntilAdvancesClockWithoutEvents) {
+  EventLoop loop;
+  loop.RunUntil(500);
+  EXPECT_EQ(loop.Now(), 500u);
+}
+
+TEST(EventLoop, RunUntilStopsAtBoundary) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(10, [&] { order.push_back(1); });
+  loop.Schedule(100, [&] { order.push_back(2); });
+  loop.RunUntil(50);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(loop.Now(), 50u);
+  loop.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventLoop, ReentrantRunUntilDrainsNestedWindow) {
+  // This is the pre-read trigger's wait: an event handler drains a window of
+  // future events before resuming.
+  EventLoop loop;
+  std::vector<std::string> order;
+  loop.Schedule(10, [&] {
+    order.push_back("outer-begin");
+    loop.Schedule(5, [&] { order.push_back("nested"); });
+    loop.RunFor(20);  // processes events up to t=30
+    order.push_back("outer-end");
+  });
+  loop.Schedule(100, [&] { order.push_back("tail"); });
+  loop.RunToCompletion();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"outer-begin", "nested", "outer-end", "tail"}));
+}
+
+TEST(EventLoop, SchedulingInsidehandlersWorks) {
+  EventLoop loop;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) {
+      loop.Schedule(10, step);
+    }
+  };
+  loop.Schedule(10, step);
+  loop.RunToCompletion();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(loop.Now(), 50u);
+}
+
+TEST(EventLoop, DeterministicAcrossRuns) {
+  auto run = [] {
+    EventLoop loop;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      loop.Schedule((i * 7) % 13, [&order, i] { order.push_back(i); });
+    }
+    loop.RunToCompletion();
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(EventLoop, CountsExecutedEvents) {
+  EventLoop loop;
+  for (int i = 0; i < 7; ++i) {
+    loop.Schedule(i, [] {});
+  }
+  loop.RunToCompletion();
+  EXPECT_EQ(loop.executed_events(), 7u);
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace ctsim

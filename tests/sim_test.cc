@@ -1,0 +1,236 @@
+// Tests for the cluster simulator: node lifecycle, messaging, crash vs
+// graceful shutdown, the failure detector, and exception boundaries.
+#include <gtest/gtest.h>
+
+#include "src/sim/cluster.h"
+#include "src/sim/exception.h"
+#include "src/sim/failure_detector.h"
+
+namespace ctsim {
+namespace {
+
+class EchoNode : public Node {
+ public:
+  EchoNode(Cluster* cluster, std::string id) : Node(cluster, std::move(id)) {
+    Handle("ping", [this](const Message& m) {
+      ++pings_;
+      Send(m.from, "pong", {});
+    });
+    Handle("pong", [this](const Message&) { ++pongs_; });
+    Handle("boom", [this](const Message&) {
+      throw SimException("NullPointerException", "boom");
+    });
+    Handle("crashsignal", [this](const Message&) {
+      mid_handler_ = true;
+      throw NodeCrashedSignal{};
+    });
+  }
+
+  int pings_ = 0;
+  int pongs_ = 0;
+  bool mid_handler_ = false;
+  bool shutdown_ran_ = false;
+
+ protected:
+  void OnShutdown() override { shutdown_ran_ = true; }
+};
+
+TEST(Cluster, DeliversMessagesWithLatency) {
+  Cluster cluster(1);
+  auto* a = cluster.AddNode<EchoNode>("a:1");
+  auto* b = cluster.AddNode<EchoNode>("b:1");
+  cluster.StartAll();
+  a->Send("b:1", "ping");
+  cluster.loop().RunToCompletion();
+  EXPECT_EQ(b->pings_, 1);
+  EXPECT_EQ(a->pongs_, 1);
+  EXPECT_EQ(cluster.delivered_messages(), 2u);
+}
+
+TEST(Cluster, MessagesToDeadNodesAreDropped) {
+  Cluster cluster(1);
+  auto* a = cluster.AddNode<EchoNode>("a:1");
+  auto* b = cluster.AddNode<EchoNode>("b:1");
+  cluster.StartAll();
+  a->Send("b:1", "ping");
+  cluster.Crash("b:1");  // dies before delivery
+  cluster.loop().RunToCompletion();
+  EXPECT_EQ(b->pings_, 0);
+  EXPECT_EQ(cluster.dropped_messages(), 1u);
+}
+
+TEST(Cluster, CrashIsAbruptShutdownIsGraceful) {
+  Cluster cluster(1);
+  auto* a = cluster.AddNode<EchoNode>("a:1");
+  auto* b = cluster.AddNode<EchoNode>("b:1");
+  cluster.StartAll();
+  cluster.Crash("a:1");
+  EXPECT_FALSE(a->shutdown_ran_);
+  EXPECT_EQ(a->state(), NodeState::kCrashed);
+  cluster.Shutdown("b:1");
+  EXPECT_TRUE(b->shutdown_ran_);
+  EXPECT_EQ(b->state(), NodeState::kShutdown);
+  EXPECT_FALSE(cluster.IsAlive("a:1"));
+  EXPECT_FALSE(cluster.IsAlive("b:1"));
+}
+
+TEST(Cluster, DeadNodeTimersNeverFire) {
+  Cluster cluster(1);
+  auto* a = cluster.AddNode<EchoNode>("a:1");
+  cluster.StartAll();
+  int fired = 0;
+  a->After(100, [&] { ++fired; });
+  cluster.loop().Schedule(50, [&] { cluster.Crash("a:1"); });
+  cluster.loop().RunToCompletion();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Cluster, EveryRepeatsUntilDeath) {
+  Cluster cluster(1);
+  auto* a = cluster.AddNode<EchoNode>("a:1");
+  cluster.StartAll();
+  int ticks = 0;
+  a->Every(10, [&] { ++ticks; });
+  cluster.loop().Schedule(55, [&] { cluster.Crash("a:1"); });
+  cluster.loop().RunUntil(200);
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(Cluster, UnhandledExceptionAbortsNodeAndLogsIt) {
+  Cluster cluster(1);
+  auto* a = cluster.AddNode<EchoNode>("a:1");
+  auto* b = cluster.AddNode<EchoNode>("b:1");
+  cluster.StartAll();
+  a->Send("b:1", "boom");
+  cluster.loop().RunToCompletion();
+  EXPECT_TRUE(b->aborted());
+  EXPECT_FALSE(cluster.IsAlive("b:1"));
+  EXPECT_FALSE(cluster.cluster_down());  // b is not critical
+  bool logged = false;
+  for (const auto& instance : cluster.logs().instances()) {
+    logged = logged || instance.text.find("Uncommon exception NullPointerException") == 0;
+  }
+  EXPECT_TRUE(logged);
+}
+
+class CriticalNode : public EchoNode {
+ public:
+  CriticalNode(Cluster* cluster, std::string id) : EchoNode(cluster, std::move(id)) {
+    SetCritical();
+  }
+};
+
+TEST(Cluster, CriticalNodeAbortTakesClusterDown) {
+  Cluster cluster(1);
+  auto* a = cluster.AddNode<EchoNode>("a:1");
+  cluster.AddNode<CriticalNode>("master:1");
+  cluster.StartAll();
+  a->Send("master:1", "boom");
+  cluster.loop().RunToCompletion();
+  EXPECT_TRUE(cluster.cluster_down());
+  EXPECT_NE(cluster.cluster_down_reason().find("master:1"), std::string::npos);
+}
+
+TEST(Cluster, NodeCrashedSignalSilentlyEndsHandler) {
+  Cluster cluster(1);
+  auto* a = cluster.AddNode<EchoNode>("a:1");
+  auto* b = cluster.AddNode<EchoNode>("b:1");
+  cluster.StartAll();
+  a->Send("b:1", "crashsignal");
+  cluster.loop().RunToCompletion();
+  EXPECT_TRUE(b->mid_handler_);
+  EXPECT_FALSE(b->aborted());  // not an exception, just a killed process
+}
+
+TEST(Cluster, CurrentNodeTracksExecutingHandler) {
+  Cluster cluster(1);
+  auto* a = cluster.AddNode<EchoNode>("a:1");
+  cluster.AddNode<EchoNode>("b:1");
+  cluster.StartAll();
+  std::string observed;
+  a->After(10, [&] { observed = cluster.current_node(); });
+  cluster.loop().RunToCompletion();
+  EXPECT_EQ(observed, "a:1");
+  EXPECT_EQ(cluster.current_node(), "");
+}
+
+TEST(Cluster, DeferredNodesStartExplicitly) {
+  Cluster cluster(1);
+  auto* late = cluster.AddNode<EchoNode>("late:1");
+  late->set_defer_start(true);
+  cluster.StartAll();
+  EXPECT_EQ(late->state(), NodeState::kStopped);
+  cluster.StartNode("late:1");
+  EXPECT_TRUE(late->IsRunning());
+}
+
+TEST(Cluster, ConfigHostsDeduplicates) {
+  Cluster cluster(1);
+  cluster.AddNode<EchoNode>("host1:10");
+  cluster.AddNode<EchoNode>("host1:20");
+  cluster.AddNode<EchoNode>("host2:10");
+  EXPECT_EQ(cluster.config_hosts(), (std::vector<std::string>{"host1", "host2"}));
+}
+
+class MonitorNode : public Node {
+ public:
+  MonitorNode(Cluster* cluster, std::string id) : Node(cluster, std::move(id)) {
+    fd_ = std::make_unique<FailureDetector>(this, 100, 20,
+                                            [this](const std::string& n) { lost_.push_back(n); });
+  }
+  void StartFd() { fd_->Start(); }
+  std::unique_ptr<FailureDetector> fd_;
+  std::vector<std::string> lost_;
+};
+
+TEST(FailureDetector, DeclaresSilentNodesLostAfterTimeout) {
+  Cluster cluster(1);
+  auto* monitor = cluster.AddNode<MonitorNode>("m:1");
+  cluster.StartAll();
+  monitor->StartFd();
+  monitor->fd_->Heartbeat("w:1");
+  cluster.loop().RunUntil(80);
+  EXPECT_TRUE(monitor->lost_.empty());  // within timeout
+  cluster.loop().RunUntil(300);
+  ASSERT_EQ(monitor->lost_.size(), 1u);
+  EXPECT_EQ(monitor->lost_[0], "w:1");
+  EXPECT_FALSE(monitor->fd_->IsTracked("w:1"));
+}
+
+TEST(FailureDetector, HeartbeatsKeepNodesAlive) {
+  Cluster cluster(1);
+  auto* monitor = cluster.AddNode<MonitorNode>("m:1");
+  cluster.StartAll();
+  monitor->StartFd();
+  for (int t = 0; t <= 500; t += 50) {
+    cluster.loop().Schedule(t, [monitor] { monitor->fd_->Heartbeat("w:1"); });
+  }
+  cluster.loop().RunUntil(520);
+  EXPECT_TRUE(monitor->lost_.empty());
+  EXPECT_TRUE(monitor->fd_->IsTracked("w:1"));
+}
+
+TEST(FailureDetector, NotifyLeftIsImmediate) {
+  // The graceful-shutdown fast path: no timeout wait.
+  Cluster cluster(1);
+  auto* monitor = cluster.AddNode<MonitorNode>("m:1");
+  cluster.StartAll();
+  monitor->StartFd();
+  monitor->fd_->Heartbeat("w:1");
+  monitor->fd_->NotifyLeft("w:1");
+  EXPECT_EQ(monitor->lost_, (std::vector<std::string>{"w:1"}));
+}
+
+TEST(FailureDetector, ForgetSuppressesCallback) {
+  Cluster cluster(1);
+  auto* monitor = cluster.AddNode<MonitorNode>("m:1");
+  cluster.StartAll();
+  monitor->StartFd();
+  monitor->fd_->Heartbeat("w:1");
+  monitor->fd_->Forget("w:1");
+  cluster.loop().RunUntil(500);
+  EXPECT_TRUE(monitor->lost_.empty());
+}
+
+}  // namespace
+}  // namespace ctsim

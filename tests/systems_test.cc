@@ -1,0 +1,214 @@
+// Integration tests for mini-HDFS, mini-HBase, mini-ZooKeeper and
+// mini-Cassandra: fault-free behaviour plus the full pipeline per system
+// (Table 5 detection, the ZooKeeper negative result, the HBase hang and
+// timeout, the unresolvable lower-layer ZNode point).
+#include <gtest/gtest.h>
+
+#include "src/core/crashtuner.h"
+#include "src/core/executor.h"
+#include "src/systems/cassandra/cass_system.h"
+#include "src/systems/hbase/hbase_system.h"
+#include "src/systems/hdfs/hdfs_system.h"
+#include "src/systems/zookeeper/zk_system.h"
+
+namespace {
+
+using ctcore::CrashTunerDriver;
+using ctcore::Executor;
+using ctcore::SystemReport;
+
+template <typename System>
+const SystemReport& ReportOf() {
+  static const SystemReport* report = [] {
+    System system;
+    return new SystemReport(CrashTunerDriver().Run(system));
+  }();
+  return *report;
+}
+
+bool FoundBug(const SystemReport& report, const std::string& id) {
+  for (const auto& bug : report.bugs) {
+    if (bug.bug_id == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- HDFS ---------------------------------------------------------------------
+
+TEST(Hdfs, FaultFreeRunCompletes) {
+  cthdfs::HdfsSystem hdfs;
+  auto run = hdfs.NewRun(2, 11);
+  ctcore::RunOutcome outcome = Executor::Execute(*run, nullptr);
+  EXPECT_TRUE(outcome.finished);
+  EXPECT_FALSE(outcome.failed);
+  EXPECT_TRUE(Executor::ExceptionsIn(run->cluster().logs()).empty());
+}
+
+TEST(Hdfs, DetectsHdfs14216OnBothPaths) {
+  const SystemReport& report = ReportOf<cthdfs::HdfsSystem>();
+  ASSERT_TRUE(FoundBug(report, "HDFS-14216"));
+  for (const auto& bug : report.bugs) {
+    if (bug.bug_id == "HDFS-14216") {
+      // Two call paths (block placement + block locations) share the issue.
+      EXPECT_GE(bug.exposing_points.size(), 2u);
+      EXPECT_EQ(bug.scenario, "pre-read");
+    }
+  }
+}
+
+TEST(Hdfs, DetectsHdfs14372ShutdownBeforeRegister) {
+  EXPECT_TRUE(FoundBug(ReportOf<cthdfs::HdfsSystem>(), "HDFS-14372"));
+}
+
+TEST(Hdfs, ReportsExactlyTheTwoTable5Bugs) {
+  EXPECT_EQ(ReportOf<cthdfs::HdfsSystem>().bugs.size(), 2u);
+}
+
+TEST(Hdfs, StandbyToleratesTornEditLog) {
+  // §4.2.2's narrative: crash the active NameNode mid-edit-log-write; the
+  // standby replays, hits the corrupt record, and *handles* it.
+  cthdfs::HdfsSystem hdfs;
+  auto run = hdfs.NewRun(2, 17);
+  run->cluster().loop().Schedule(3700, [&] { run->cluster().Crash("namenode1:9000"); });
+  ctcore::RunOutcome outcome = Executor::Execute(*run, nullptr);
+  EXPECT_TRUE(outcome.finished) << "failover should keep the job alive";
+  bool handled = false;
+  for (const auto& instance : run->cluster().logs().instances()) {
+    handled = handled || instance.text.find("LogHeaderCorruptException") != std::string::npos;
+  }
+  // The torn-record path only triggers if the crash landed mid-write; the
+  // failover itself must always complete.
+  bool promoted = false;
+  for (const auto& instance : run->cluster().logs().instances()) {
+    promoted = promoted || instance.text.find("transitioned to active") != std::string::npos;
+  }
+  EXPECT_TRUE(promoted);
+}
+
+// --- HBase ---------------------------------------------------------------------
+
+TEST(HBase, FaultFreeRunCompletes) {
+  cthbase::HBaseSystem hbase;
+  auto run = hbase.NewRun(3, 23);
+  ctcore::RunOutcome outcome = Executor::Execute(*run, nullptr);
+  EXPECT_TRUE(outcome.finished);
+  EXPECT_TRUE(Executor::ExceptionsIn(run->cluster().logs()).empty());
+}
+
+class HBaseTable5Bug : public ::testing::TestWithParam<const char*> {};
+TEST_P(HBaseTable5Bug, Detected) {
+  EXPECT_TRUE(FoundBug(ReportOf<cthbase::HBaseSystem>(), GetParam())) << GetParam();
+}
+INSTANTIATE_TEST_SUITE_P(Table5, HBaseTable5Bug,
+                         ::testing::Values("HBASE-22041", "HBASE-22017", "HBASE-21740",
+                                           "HBASE-22050", "HBASE-22023"));
+
+TEST(HBase, Hbase22041IsAStartupHang) {
+  const SystemReport& report = ReportOf<cthbase::HBaseSystem>();
+  for (const auto& bug : report.bugs) {
+    if (bug.bug_id == "HBASE-22041") {
+      EXPECT_TRUE(bug.sample_outcome.hang) << "Fig. 9: retry-forever startup hang";
+      EXPECT_EQ(bug.scenario, "post-write");
+    }
+  }
+}
+
+TEST(HBase, ReportsTheStuckRegionTimeout) {
+  // §4.1.3: the region stuck in OPENING makes the run finish far beyond the
+  // timeout threshold without being a hard failure.
+  EXPECT_GE(ReportOf<cthbase::HBaseSystem>().timeout_issues.size(), 1u);
+}
+
+TEST(HBase, LowerLayerZnodeValueIsUnresolvable) {
+  // §4.1.1: HBASE-7111/5722/5635 cannot be reproduced because the accessed
+  // meta-info lives in the lower-layer ZooKeeper; the trigger finds no
+  // target node for it.
+  const SystemReport& report = ReportOf<cthbase::HBaseSystem>();
+  bool saw_unresolvable_znode_read = false;
+  for (const auto& injection : report.injections) {
+    if (injection.location.find("ReplicationZKWatcher") != std::string::npos) {
+      saw_unresolvable_znode_read = true;
+      EXPECT_TRUE(injection.point_hit);
+      EXPECT_FALSE(injection.injected);
+    }
+  }
+  EXPECT_TRUE(saw_unresolvable_znode_read);
+}
+
+TEST(HBase, MetricsTypeClassifiedViaContainingClassRule) {
+  const auto& metainfo = ReportOf<cthbase::HBaseSystem>().metainfo;
+  ASSERT_TRUE(metainfo.IsMetaInfoType("hbase.regionserver.MetricsRegionServer"));
+  EXPECT_EQ(metainfo.types.at("hbase.regionserver.MetricsRegionServer").derived_via,
+            "containing-class");
+}
+
+// --- ZooKeeper: the negative result ---------------------------------------------
+
+TEST(ZooKeeper, FaultFreeRunCompletes) {
+  ctzk::ZkSystem zk;
+  auto run = zk.NewRun(4, 31);
+  ctcore::RunOutcome outcome = Executor::Execute(*run, nullptr);
+  EXPECT_TRUE(outcome.finished);
+}
+
+TEST(ZooKeeper, HasCrashPointsButFindsNoBugs) {
+  const SystemReport& report = ReportOf<ctzk::ZkSystem>();
+  EXPECT_GT(report.dynamic_crash_points, 2);
+  EXPECT_TRUE(report.bugs.empty()) << "full replication tolerates single crashes (§4.1.2)";
+}
+
+TEST(ZooKeeper, MetaInfoSurfaceIsSmall) {
+  // Table 10's ZooKeeper row: few types, few fields — node identity is an
+  // Integer the inference refuses to generalize.
+  const SystemReport& report = ReportOf<ctzk::ZkSystem>();
+  EXPECT_LE(report.metainfo_types, 6);
+  EXPECT_FALSE(report.metainfo.IsMetaInfoType("java.lang.Integer"));
+}
+
+TEST(ZooKeeper, LeaderCrashTriggersHandledRecovery) {
+  ctzk::ZkSystem zk;
+  auto run = zk.NewRun(4, 37);
+  run->cluster().loop().Schedule(2600, [&] { run->cluster().Crash("zkpeer3:2888"); });
+  ctcore::RunOutcome outcome = Executor::Execute(*run, nullptr);
+  EXPECT_TRUE(outcome.finished) << "the quorum survives a leader crash";
+  bool recovered = false;
+  for (const auto& instance : run->cluster().logs().instances()) {
+    recovered = recovered || instance.text.find("Recovering from snapshot") != std::string::npos;
+  }
+  EXPECT_TRUE(recovered);
+}
+
+// --- Cassandra ------------------------------------------------------------------
+
+TEST(Cassandra, FaultFreeRunCompletes) {
+  ctcass::CassSystem cass;
+  auto run = cass.NewRun(4, 41);
+  ctcore::RunOutcome outcome = Executor::Execute(*run, nullptr);
+  EXPECT_TRUE(outcome.finished);
+  EXPECT_TRUE(Executor::ExceptionsIn(run->cluster().logs()).empty());
+}
+
+TEST(Cassandra, DetectsCa15131) {
+  const SystemReport& report = ReportOf<ctcass::CassSystem>();
+  ASSERT_TRUE(FoundBug(report, "CA-15131"));
+  EXPECT_EQ(report.bugs.size(), 1u);
+}
+
+TEST(Cassandra, SingleMetaInfoSeedType) {
+  // Table 10's Cassandra row: one logged meta-info type.
+  const SystemReport& report = ReportOf<ctcass::CassSystem>();
+  EXPECT_EQ(report.log_result.seed_types.size(), 1u);
+  EXPECT_TRUE(report.log_result.seed_types.count("cassandra.locator.InetAddressAndPort"));
+}
+
+TEST(Cassandra, SurvivesSingleNodeCrash) {
+  ctcass::CassSystem cass;
+  auto run = cass.NewRun(4, 43);
+  run->cluster().loop().Schedule(2000, [&] { run->cluster().Crash("cass2:7000"); });
+  ctcore::RunOutcome outcome = Executor::Execute(*run, nullptr);
+  EXPECT_TRUE(outcome.finished);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Tests for the runtime tracer: call-stack capture, profile recording,
+// trigger-once semantics, and the IO hooks.
+#include "src/runtime/tracer.h"
+
+#include <gtest/gtest.h>
+
+namespace ctrt {
+namespace {
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { AccessTracer::Instance().Reset(TraceMode::kOff); }
+  void TearDown() override { AccessTracer::Instance().Reset(TraceMode::kOff); }
+};
+
+TEST_F(TracerTest, OffModeIgnoresHooks) {
+  auto& tracer = AccessTracer::Instance();
+  tracer.PreRead(1, "v");
+  tracer.PostWrite(2, "w");
+  EXPECT_TRUE(tracer.dynamic_access_points().empty());
+}
+
+TEST_F(TracerTest, StackCaptureIsBounded) {
+  auto& tracer = AccessTracer::Instance();
+  ScopedFrame f1("m1");
+  ScopedFrame f2("m2");
+  ScopedFrame f3("m3");
+  ScopedFrame f4("m4");
+  ScopedFrame f5("m5");
+  ScopedFrame f6("m6");
+  ScopedFrame f7("m7");
+  CallStack stack = tracer.CaptureStack();
+  ASSERT_EQ(stack.frames.size(), static_cast<size_t>(CallStack::kMaxDepth));
+  // Innermost first, then callers.
+  EXPECT_EQ(stack.frames.front(), "m7");
+  EXPECT_EQ(stack.Key(), "m7<m6<m5<m4<m3");
+}
+
+TEST_F(TracerTest, ScopedFramePopsOnScopeExit) {
+  auto& tracer = AccessTracer::Instance();
+  {
+    ScopedFrame f("outer");
+    {
+      ScopedFrame g("inner");
+      EXPECT_EQ(tracer.CaptureStack().Key(), "inner<outer");
+    }
+    EXPECT_EQ(tracer.CaptureStack().Key(), "outer");
+  }
+  EXPECT_EQ(tracer.CaptureStack().Key(), "");
+}
+
+TEST_F(TracerTest, ProfileRecordsOnlyArmedPoints) {
+  auto& tracer = AccessTracer::Instance();
+  tracer.Reset(TraceMode::kProfile);
+  tracer.SetProfiledPoints({7}, {});
+  ScopedFrame f("method");
+  tracer.PreRead(7, "a");
+  tracer.PreRead(7, "b");  // same dynamic point, counted twice
+  tracer.PreRead(8, "c");  // not armed
+  ASSERT_EQ(tracer.dynamic_access_points().size(), 1u);
+  const auto& [point, hits] = *tracer.dynamic_access_points().begin();
+  EXPECT_EQ(point.point_id, 7);
+  EXPECT_EQ(point.stack_key, "method");
+  EXPECT_EQ(hits, 2);
+}
+
+TEST_F(TracerTest, DistinctStacksYieldDistinctDynamicPoints) {
+  auto& tracer = AccessTracer::Instance();
+  tracer.Reset(TraceMode::kProfile);
+  tracer.SetProfiledPoints({7}, {});
+  {
+    ScopedFrame f("caller_a");
+    tracer.PreRead(7, "v");
+  }
+  {
+    ScopedFrame f("caller_b");
+    tracer.PreRead(7, "v");
+  }
+  EXPECT_EQ(tracer.dynamic_access_points().size(), 2u);
+}
+
+TEST_F(TracerTest, TriggerFiresOnceAtMatchingPointAndStack) {
+  auto& tracer = AccessTracer::Instance();
+  tracer.Reset(TraceMode::kTrigger);
+  int fired = 0;
+  std::string value;
+  tracer.ArmAccessTrigger({7, "target"}, [&](const AccessEvent& event) {
+    ++fired;
+    value = event.value;
+  });
+  {
+    ScopedFrame f("other");
+    tracer.PreRead(7, "wrong-stack");
+  }
+  EXPECT_EQ(fired, 0);
+  {
+    ScopedFrame f("target");
+    tracer.PreRead(7, "v1");
+    tracer.PreRead(7, "v2");  // second hit ignored: one injection per run
+  }
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(value, "v1");
+  EXPECT_TRUE(tracer.trigger_fired());
+  ASSERT_TRUE(tracer.fired_event().has_value());
+  EXPECT_EQ(tracer.fired_event()->point_id, 7);
+}
+
+TEST_F(TracerTest, IoProfileRecordsBeginSideOnly) {
+  auto& tracer = AccessTracer::Instance();
+  tracer.Reset(TraceMode::kProfile);
+  tracer.SetProfiledPoints({}, {3});
+  ScopedFrame f("io_site");
+  tracer.IoBegin(3);
+  tracer.IoEnd(3);
+  ASSERT_EQ(tracer.dynamic_io_points().size(), 1u);
+  EXPECT_EQ(tracer.dynamic_io_points().begin()->second, 1);
+}
+
+TEST_F(TracerTest, IoTriggerSelectsBeforeOrAfterSide) {
+  auto& tracer = AccessTracer::Instance();
+  tracer.Reset(TraceMode::kTrigger);
+  int fired_before = 0;
+  tracer.ArmIoTrigger({3, "io_site"}, /*before=*/true,
+                      [&](const AccessEvent&) { ++fired_before; });
+  {
+    ScopedFrame f("io_site");
+    tracer.IoEnd(3);  // wrong side
+    EXPECT_EQ(fired_before, 0);
+    tracer.IoBegin(3);
+    EXPECT_EQ(fired_before, 1);
+  }
+
+  tracer.Reset(TraceMode::kTrigger);
+  int fired_after = 0;
+  tracer.ArmIoTrigger({3, "io_site"}, /*before=*/false,
+                      [&](const AccessEvent&) { ++fired_after; });
+  {
+    ScopedFrame f("io_site");
+    tracer.IoBegin(3);
+    EXPECT_EQ(fired_after, 0);
+    tracer.IoEnd(3);
+    EXPECT_EQ(fired_after, 1);
+  }
+}
+
+TEST_F(TracerTest, ResetClearsEverything) {
+  auto& tracer = AccessTracer::Instance();
+  tracer.Reset(TraceMode::kProfile);
+  tracer.SetProfiledPoints({1}, {});
+  tracer.PreRead(1, "v");
+  EXPECT_FALSE(tracer.dynamic_access_points().empty());
+  tracer.Reset(TraceMode::kOff);
+  EXPECT_TRUE(tracer.dynamic_access_points().empty());
+  EXPECT_FALSE(tracer.trigger_fired());
+  EXPECT_EQ(tracer.hook_firings(), 0u);
+}
+
+}  // namespace
+}  // namespace ctrt

@@ -1,0 +1,230 @@
+// Mini-YARN tests: fault-free behaviour, the full CrashTuner pipeline on the
+// trunk and legacy builds, and per-bug detection checks (Table 5's YARN rows
+// plus the Fig. 2 / Fig. 3 legacy reproductions).
+#include <gtest/gtest.h>
+
+#include "src/core/crashtuner.h"
+#include "src/core/executor.h"
+#include "src/systems/yarn/yarn_system.h"
+
+namespace ctyarn {
+namespace {
+
+using ctcore::CrashTunerDriver;
+using ctcore::Executor;
+using ctcore::SystemReport;
+
+const SystemReport& TrunkReport() {
+  static const SystemReport* report = [] {
+    YarnSystem yarn(YarnMode::kTrunk);
+    return new SystemReport(CrashTunerDriver().Run(yarn));
+  }();
+  return *report;
+}
+
+const SystemReport& LegacyReport() {
+  static const SystemReport* report = [] {
+    YarnSystem yarn(YarnMode::kLegacy);
+    return new SystemReport(CrashTunerDriver().Run(yarn));
+  }();
+  return *report;
+}
+
+bool FoundBug(const SystemReport& report, const std::string& id) {
+  for (const auto& bug : report.bugs) {
+    if (bug.bug_id == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const ctcore::DetectedBug* GetBug(const SystemReport& report, const std::string& id) {
+  for (const auto& bug : report.bugs) {
+    if (bug.bug_id == id) {
+      return &bug;
+    }
+  }
+  return nullptr;
+}
+
+TEST(YarnFaultFree, JobCompletesWithoutFaults) {
+  YarnSystem yarn;
+  auto run = yarn.NewRun(3, 42);
+  ctcore::RunOutcome outcome = Executor::Execute(*run, nullptr);
+  EXPECT_TRUE(outcome.finished);
+  EXPECT_FALSE(outcome.failed);
+  EXPECT_FALSE(outcome.hang);
+  EXPECT_FALSE(run->cluster().cluster_down());
+}
+
+TEST(YarnFaultFree, NoExceptionsInCleanRun) {
+  YarnSystem yarn;
+  auto run = yarn.NewRun(3, 43);
+  Executor::Execute(*run, nullptr);
+  EXPECT_TRUE(Executor::ExceptionsIn(run->cluster().logs()).empty());
+}
+
+TEST(YarnFaultFree, DeterministicForSameSeed) {
+  YarnSystem yarn;
+  auto run_once = [&](uint64_t seed) {
+    auto run = yarn.NewRun(3, seed);
+    Executor::Execute(*run, nullptr);
+    std::vector<std::string> lines;
+    for (const auto& instance : run->cluster().logs().instances()) {
+      lines.push_back(std::to_string(instance.time_ms) + "|" + instance.text);
+    }
+    return lines;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+}
+
+TEST(YarnFaultFree, ScalesWithWorkloadSize) {
+  YarnSystem yarn;
+  auto small = yarn.NewRun(2, 5);
+  auto big = yarn.NewRun(8, 5);
+  ctcore::RunOutcome small_outcome = Executor::Execute(*small, nullptr);
+  ctcore::RunOutcome big_outcome = Executor::Execute(*big, nullptr);
+  EXPECT_TRUE(small_outcome.finished);
+  EXPECT_TRUE(big_outcome.finished);
+  EXPECT_GT(big->cluster().logs().instances().size(),
+            small->cluster().logs().instances().size());
+}
+
+TEST(YarnPipeline, LogAnalysisMatchesEveryInstance) {
+  const SystemReport& report = TrunkReport();
+  EXPECT_EQ(report.log_result.instances_matched, report.log_result.instances_total);
+  EXPECT_EQ(report.log_result.instances_mismatched, 0);
+}
+
+TEST(YarnPipeline, SeedTypesCoverTable2Stars) {
+  const auto& seeds = TrunkReport().log_result.seed_types;
+  EXPECT_TRUE(seeds.count("yarn.api.records.NodeId"));
+  EXPECT_TRUE(seeds.count("yarn.api.records.ContainerId"));
+  EXPECT_TRUE(seeds.count("yarn.api.records.ApplicationId"));
+  EXPECT_TRUE(seeds.count("yarn.api.records.ApplicationAttemptId"));
+  EXPECT_TRUE(seeds.count("mapreduce.v2.api.records.TaskAttemptId"));
+}
+
+TEST(YarnPipeline, InferenceDerivesTable2Groups) {
+  const auto& metainfo = TrunkReport().metainfo;
+  // Derived, not logged: PB impls via subtyping, state machines via the
+  // collection / containing-class rules.
+  EXPECT_TRUE(metainfo.IsMetaInfoType("yarn.api.records.impl.pb.NodeIdPBImpl"));
+  EXPECT_TRUE(metainfo.IsMetaInfoType("HashMap<NodeId,SchedulerNode>"));
+  EXPECT_TRUE(metainfo.IsMetaInfoType("yarn.server.resourcemanager.rmcontainer.RMContainerImpl"));
+  EXPECT_FALSE(metainfo.IsMetaInfoType("java.lang.String"));
+  EXPECT_FALSE(metainfo.IsMetaInfoType("yarn.server.scheduler.SchedulerNode"));
+}
+
+TEST(YarnPipeline, Table10ShapeHolds) {
+  const SystemReport& report = TrunkReport();
+  // Meta-info is a small fraction of the universe; crash points are a small
+  // fraction of meta-info accesses; dynamic points are smaller still.
+  EXPECT_GT(report.total_types, 500);
+  EXPECT_LT(report.metainfo_types, report.total_types / 10);
+  EXPECT_LT(report.metainfo_access_points, report.total_access_points / 20);
+  EXPECT_LT(report.static_crash_points, report.metainfo_access_points);
+  EXPECT_LT(report.dynamic_crash_points, report.static_crash_points);
+  EXPECT_GT(report.dynamic_crash_points, 10);
+}
+
+TEST(YarnPipeline, OptimizationsPruneSomething) {
+  const SystemReport& report = TrunkReport();
+  EXPECT_GT(report.pruned_unused, 0);
+  EXPECT_GT(report.pruned_sanity_checked, 0);
+  EXPECT_GT(report.crash_points.promotion_sites, 40);  // the 43-site structure
+}
+
+TEST(YarnPipeline, EveryDynamicPointGetsOneInjectionRun) {
+  const SystemReport& report = TrunkReport();
+  EXPECT_EQ(report.injections.size(),
+            static_cast<size_t>(report.dynamic_crash_points));
+  for (const auto& injection : report.injections) {
+    EXPECT_TRUE(injection.point_hit) << injection.location;
+  }
+}
+
+// Per-bug detection: the ten Table 5 YARN/MR rows, trunk build.
+class YarnTrunkBug : public ::testing::TestWithParam<const char*> {};
+TEST_P(YarnTrunkBug, DetectedAndTriaged) {
+  EXPECT_TRUE(FoundBug(TrunkReport(), GetParam())) << GetParam();
+}
+INSTANTIATE_TEST_SUITE_P(Table5, YarnTrunkBug,
+                         ::testing::Values("YARN-9238", "YARN-9165", "YARN-9193", "YARN-9164",
+                                           "YARN-9201", "YARN-9194", "YARN-8650", "YARN-9248",
+                                           "YARN-8649", "MR-7178"));
+
+TEST(YarnBugDetails, Yarn9164IsClusterDown) {
+  const ctcore::DetectedBug* bug = GetBug(TrunkReport(), "YARN-9164");
+  ASSERT_NE(bug, nullptr);
+  EXPECT_EQ(bug->scenario, "pre-read");
+  EXPECT_TRUE(bug->sample_outcome.cluster_down);
+  // The "(2)" of Table 5: two dynamic contexts expose the same root cause.
+  EXPECT_GE(bug->exposing_points.size(), 2u);
+}
+
+TEST(YarnBugDetails, Yarn8650GroupsTwoPoints) {
+  const ctcore::DetectedBug* bug = GetBug(TrunkReport(), "YARN-8650");
+  ASSERT_NE(bug, nullptr);
+  EXPECT_GE(bug->exposing_points.size(), 2u);
+}
+
+TEST(YarnBugDetails, Mr7178IsPostWrite) {
+  const ctcore::DetectedBug* bug = GetBug(TrunkReport(), "MR-7178");
+  ASSERT_NE(bug, nullptr);
+  EXPECT_EQ(bug->scenario, "post-write");
+}
+
+TEST(YarnBugDetails, TrunkDoesNotReportFixedLegacyBugs) {
+  EXPECT_FALSE(FoundBug(TrunkReport(), "YARN-5918"));
+  EXPECT_FALSE(FoundBug(TrunkReport(), "MR-3858"));
+}
+
+TEST(YarnLegacy, ReproducesYarn5918AndMr3858) {
+  // §4.1.1: reproducing the studied bugs on the releases that contained them.
+  EXPECT_TRUE(FoundBug(LegacyReport(), "YARN-5918"));
+  EXPECT_TRUE(FoundBug(LegacyReport(), "MR-3858"));
+}
+
+TEST(YarnLegacy, Mr3858IsTheFig3Hang) {
+  const ctcore::DetectedBug* bug = GetBug(LegacyReport(), "MR-3858");
+  ASSERT_NE(bug, nullptr);
+  EXPECT_EQ(bug->scenario, "post-write");
+  EXPECT_TRUE(bug->sample_outcome.hang);
+}
+
+TEST(YarnLegacy, StillFindsAllTrunkBugs) {
+  for (const char* id : {"YARN-9238", "YARN-9164", "YARN-9201", "MR-7178"}) {
+    EXPECT_TRUE(FoundBug(LegacyReport(), id)) << id;
+  }
+}
+
+TEST(YarnInjections, SomePointsAreBenign) {
+  // Not every crash point exposes an error (§4.1.2's non-exposing dynamic
+  // point): the curl paths and several writes must stay clean.
+  int benign = 0;
+  for (const auto& injection : TrunkReport().injections) {
+    if (injection.injected && !injection.outcome.IsBug() &&
+        !injection.outcome.timeout_issue) {
+      ++benign;
+    }
+  }
+  EXPECT_GE(benign, 3);
+}
+
+TEST(YarnInjections, SomeValuesAreUnresolvable) {
+  // The jvm-record write fires before any log line mentions the value: the
+  // stash cannot resolve it and no fault is injected (§3.2.2's "simply
+  // returns" path).
+  int unresolved = 0;
+  for (const auto& injection : TrunkReport().injections) {
+    if (injection.point_hit && !injection.injected) {
+      ++unresolved;
+    }
+  }
+  EXPECT_GE(unresolved, 1);
+}
+
+}  // namespace
+}  // namespace ctyarn
