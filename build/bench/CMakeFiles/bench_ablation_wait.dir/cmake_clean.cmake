@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wait.dir/bench_ablation_wait.cc.o"
+  "CMakeFiles/bench_ablation_wait.dir/bench_ablation_wait.cc.o.d"
+  "bench_ablation_wait"
+  "bench_ablation_wait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multicrash.dir/bench_multicrash.cc.o"
+  "CMakeFiles/bench_multicrash.dir/bench_multicrash.cc.o.d"
+  "bench_multicrash"
+  "bench_multicrash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multicrash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

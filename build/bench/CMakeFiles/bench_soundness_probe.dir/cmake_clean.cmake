@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_soundness_probe.dir/bench_soundness_probe.cc.o"
+  "CMakeFiles/bench_soundness_probe.dir/bench_soundness_probe.cc.o.d"
+  "bench_soundness_probe"
+  "bench_soundness_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_soundness_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_crash_points.dir/bench_table10_crash_points.cc.o"
+  "CMakeFiles/bench_table10_crash_points.dir/bench_table10_crash_points.cc.o.d"
+  "bench_table10_crash_points"
+  "bench_table10_crash_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_crash_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

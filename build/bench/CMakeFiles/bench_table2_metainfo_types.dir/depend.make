@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_metainfo_types.
+# This may be replaced when dependencies are built.

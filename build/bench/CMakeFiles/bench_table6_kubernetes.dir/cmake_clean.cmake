@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_kubernetes.dir/bench_table6_kubernetes.cc.o"
+  "CMakeFiles/bench_table6_kubernetes.dir/bench_table6_kubernetes.cc.o.d"
+  "bench_table6_kubernetes"
+  "bench_table6_kubernetes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_kubernetes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_random_injection.dir/bench_table7_random_injection.cc.o"
+  "CMakeFiles/bench_table7_random_injection.dir/bench_table7_random_injection.cc.o.d"
+  "bench_table7_random_injection"
+  "bench_table7_random_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_random_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_approaches.dir/compare_approaches.cpp.o"
+  "CMakeFiles/compare_approaches.dir/compare_approaches.cpp.o.d"
+  "compare_approaches"
+  "compare_approaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

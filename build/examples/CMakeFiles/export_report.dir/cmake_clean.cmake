@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_report.dir/export_report.cpp.o"
+  "CMakeFiles/export_report.dir/export_report.cpp.o.d"
+  "export_report"
+  "export_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

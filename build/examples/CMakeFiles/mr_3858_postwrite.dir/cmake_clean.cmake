@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_3858_postwrite.dir/mr_3858_postwrite.cpp.o"
+  "CMakeFiles/mr_3858_postwrite.dir/mr_3858_postwrite.cpp.o.d"
+  "mr_3858_postwrite"
+  "mr_3858_postwrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_3858_postwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

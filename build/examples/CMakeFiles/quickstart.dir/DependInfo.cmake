@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ct_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ct_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ct_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/ct_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ct_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/yarn/CMakeFiles/ct_yarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/hdfs/CMakeFiles/ct_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/hbase/CMakeFiles/ct_hbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/zookeeper/CMakeFiles/ct_zookeeper.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/cassandra/CMakeFiles/ct_cassandra.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yarn_5918_preread.dir/yarn_5918_preread.cpp.o"
+  "CMakeFiles/yarn_5918_preread.dir/yarn_5918_preread.cpp.o.d"
+  "yarn_5918_preread"
+  "yarn_5918_preread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yarn_5918_preread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for yarn_5918_preread.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("logging")
+subdirs("model")
+subdirs("runtime")
+subdirs("analysis")
+subdirs("core")
+subdirs("study")
+subdirs("systems/yarn")
+subdirs("systems/hdfs")
+subdirs("systems/hbase")
+subdirs("systems/zookeeper")
+subdirs("systems/cassandra")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/crash_point_analysis.cc" "src/analysis/CMakeFiles/ct_analysis.dir/crash_point_analysis.cc.o" "gcc" "src/analysis/CMakeFiles/ct_analysis.dir/crash_point_analysis.cc.o.d"
+  "/root/repo/src/analysis/log_analysis.cc" "src/analysis/CMakeFiles/ct_analysis.dir/log_analysis.cc.o" "gcc" "src/analysis/CMakeFiles/ct_analysis.dir/log_analysis.cc.o.d"
+  "/root/repo/src/analysis/metainfo_inference.cc" "src/analysis/CMakeFiles/ct_analysis.dir/metainfo_inference.cc.o" "gcc" "src/analysis/CMakeFiles/ct_analysis.dir/metainfo_inference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ct_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/ct_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ct_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_analysis.dir/crash_point_analysis.cc.o"
+  "CMakeFiles/ct_analysis.dir/crash_point_analysis.cc.o.d"
+  "CMakeFiles/ct_analysis.dir/log_analysis.cc.o"
+  "CMakeFiles/ct_analysis.dir/log_analysis.cc.o.d"
+  "CMakeFiles/ct_analysis.dir/metainfo_inference.cc.o"
+  "CMakeFiles/ct_analysis.dir/metainfo_inference.cc.o.d"
+  "libct_analysis.a"
+  "libct_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

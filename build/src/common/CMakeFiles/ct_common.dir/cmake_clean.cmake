@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_common.dir/strings.cc.o"
+  "CMakeFiles/ct_common.dir/strings.cc.o.d"
+  "libct_common.a"
+  "libct_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/ct_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/crashtuner.cc" "src/core/CMakeFiles/ct_core.dir/crashtuner.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/crashtuner.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/core/CMakeFiles/ct_core.dir/executor.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/executor.cc.o.d"
+  "/root/repo/src/core/multi_crash.cc" "src/core/CMakeFiles/ct_core.dir/multi_crash.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/multi_crash.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/core/CMakeFiles/ct_core.dir/profiler.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/profiler.cc.o.d"
+  "/root/repo/src/core/report_writer.cc" "src/core/CMakeFiles/ct_core.dir/report_writer.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/report_writer.cc.o.d"
+  "/root/repo/src/core/trigger.cc" "src/core/CMakeFiles/ct_core.dir/trigger.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/trigger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ct_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/ct_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ct_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ct_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ct_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

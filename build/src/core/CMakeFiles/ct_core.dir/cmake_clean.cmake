@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_core.dir/baselines.cc.o"
+  "CMakeFiles/ct_core.dir/baselines.cc.o.d"
+  "CMakeFiles/ct_core.dir/crashtuner.cc.o"
+  "CMakeFiles/ct_core.dir/crashtuner.cc.o.d"
+  "CMakeFiles/ct_core.dir/executor.cc.o"
+  "CMakeFiles/ct_core.dir/executor.cc.o.d"
+  "CMakeFiles/ct_core.dir/multi_crash.cc.o"
+  "CMakeFiles/ct_core.dir/multi_crash.cc.o.d"
+  "CMakeFiles/ct_core.dir/profiler.cc.o"
+  "CMakeFiles/ct_core.dir/profiler.cc.o.d"
+  "CMakeFiles/ct_core.dir/report_writer.cc.o"
+  "CMakeFiles/ct_core.dir/report_writer.cc.o.d"
+  "CMakeFiles/ct_core.dir/trigger.cc.o"
+  "CMakeFiles/ct_core.dir/trigger.cc.o.d"
+  "libct_core.a"
+  "libct_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logging/log_store.cc" "src/logging/CMakeFiles/ct_logging.dir/log_store.cc.o" "gcc" "src/logging/CMakeFiles/ct_logging.dir/log_store.cc.o.d"
+  "/root/repo/src/logging/stash.cc" "src/logging/CMakeFiles/ct_logging.dir/stash.cc.o" "gcc" "src/logging/CMakeFiles/ct_logging.dir/stash.cc.o.d"
+  "/root/repo/src/logging/statement.cc" "src/logging/CMakeFiles/ct_logging.dir/statement.cc.o" "gcc" "src/logging/CMakeFiles/ct_logging.dir/statement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

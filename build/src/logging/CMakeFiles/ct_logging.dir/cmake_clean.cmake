@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_logging.dir/log_store.cc.o"
+  "CMakeFiles/ct_logging.dir/log_store.cc.o.d"
+  "CMakeFiles/ct_logging.dir/stash.cc.o"
+  "CMakeFiles/ct_logging.dir/stash.cc.o.d"
+  "CMakeFiles/ct_logging.dir/statement.cc.o"
+  "CMakeFiles/ct_logging.dir/statement.cc.o.d"
+  "libct_logging.a"
+  "libct_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_model.dir/catalog.cc.o"
+  "CMakeFiles/ct_model.dir/catalog.cc.o.d"
+  "CMakeFiles/ct_model.dir/program_model.cc.o"
+  "CMakeFiles/ct_model.dir/program_model.cc.o.d"
+  "libct_model.a"
+  "libct_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_runtime.dir/tracer.cc.o"
+  "CMakeFiles/ct_runtime.dir/tracer.cc.o.d"
+  "libct_runtime.a"
+  "libct_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_sim.dir/cluster.cc.o"
+  "CMakeFiles/ct_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/ct_sim.dir/event_loop.cc.o"
+  "CMakeFiles/ct_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/ct_sim.dir/failure_detector.cc.o"
+  "CMakeFiles/ct_sim.dir/failure_detector.cc.o.d"
+  "CMakeFiles/ct_sim.dir/node.cc.o"
+  "CMakeFiles/ct_sim.dir/node.cc.o.d"
+  "libct_sim.a"
+  "libct_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_study.dir/bug_study.cc.o"
+  "CMakeFiles/ct_study.dir/bug_study.cc.o.d"
+  "libct_study.a"
+  "libct_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

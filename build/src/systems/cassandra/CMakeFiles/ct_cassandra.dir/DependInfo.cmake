@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systems/cassandra/cass_model.cc" "src/systems/cassandra/CMakeFiles/ct_cassandra.dir/cass_model.cc.o" "gcc" "src/systems/cassandra/CMakeFiles/ct_cassandra.dir/cass_model.cc.o.d"
+  "/root/repo/src/systems/cassandra/cass_nodes.cc" "src/systems/cassandra/CMakeFiles/ct_cassandra.dir/cass_nodes.cc.o" "gcc" "src/systems/cassandra/CMakeFiles/ct_cassandra.dir/cass_nodes.cc.o.d"
+  "/root/repo/src/systems/cassandra/cass_system.cc" "src/systems/cassandra/CMakeFiles/ct_cassandra.dir/cass_system.cc.o" "gcc" "src/systems/cassandra/CMakeFiles/ct_cassandra.dir/cass_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ct_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ct_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/ct_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ct_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ct_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_cassandra.dir/cass_model.cc.o"
+  "CMakeFiles/ct_cassandra.dir/cass_model.cc.o.d"
+  "CMakeFiles/ct_cassandra.dir/cass_nodes.cc.o"
+  "CMakeFiles/ct_cassandra.dir/cass_nodes.cc.o.d"
+  "CMakeFiles/ct_cassandra.dir/cass_system.cc.o"
+  "CMakeFiles/ct_cassandra.dir/cass_system.cc.o.d"
+  "libct_cassandra.a"
+  "libct_cassandra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_cassandra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

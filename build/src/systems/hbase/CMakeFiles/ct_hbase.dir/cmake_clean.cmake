@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_hbase.dir/hbase_model.cc.o"
+  "CMakeFiles/ct_hbase.dir/hbase_model.cc.o.d"
+  "CMakeFiles/ct_hbase.dir/hbase_nodes.cc.o"
+  "CMakeFiles/ct_hbase.dir/hbase_nodes.cc.o.d"
+  "CMakeFiles/ct_hbase.dir/hbase_system.cc.o"
+  "CMakeFiles/ct_hbase.dir/hbase_system.cc.o.d"
+  "libct_hbase.a"
+  "libct_hbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_hbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

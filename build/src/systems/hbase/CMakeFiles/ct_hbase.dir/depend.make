@@ -1,0 +1,2 @@
+# Empty dependencies file for ct_hbase.
+# This may be replaced when dependencies are built.

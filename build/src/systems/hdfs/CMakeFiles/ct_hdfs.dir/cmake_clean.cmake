@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_hdfs.dir/hdfs_model.cc.o"
+  "CMakeFiles/ct_hdfs.dir/hdfs_model.cc.o.d"
+  "CMakeFiles/ct_hdfs.dir/hdfs_nodes.cc.o"
+  "CMakeFiles/ct_hdfs.dir/hdfs_nodes.cc.o.d"
+  "CMakeFiles/ct_hdfs.dir/hdfs_system.cc.o"
+  "CMakeFiles/ct_hdfs.dir/hdfs_system.cc.o.d"
+  "libct_hdfs.a"
+  "libct_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_yarn.dir/node_manager.cc.o"
+  "CMakeFiles/ct_yarn.dir/node_manager.cc.o.d"
+  "CMakeFiles/ct_yarn.dir/resource_manager.cc.o"
+  "CMakeFiles/ct_yarn.dir/resource_manager.cc.o.d"
+  "CMakeFiles/ct_yarn.dir/yarn_model.cc.o"
+  "CMakeFiles/ct_yarn.dir/yarn_model.cc.o.d"
+  "CMakeFiles/ct_yarn.dir/yarn_system.cc.o"
+  "CMakeFiles/ct_yarn.dir/yarn_system.cc.o.d"
+  "libct_yarn.a"
+  "libct_yarn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_yarn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_zookeeper.dir/zk_model.cc.o"
+  "CMakeFiles/ct_zookeeper.dir/zk_model.cc.o.d"
+  "CMakeFiles/ct_zookeeper.dir/zk_nodes.cc.o"
+  "CMakeFiles/ct_zookeeper.dir/zk_nodes.cc.o.d"
+  "CMakeFiles/ct_zookeeper.dir/zk_system.cc.o"
+  "CMakeFiles/ct_zookeeper.dir/zk_system.cc.o.d"
+  "libct_zookeeper.a"
+  "libct_zookeeper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_zookeeper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

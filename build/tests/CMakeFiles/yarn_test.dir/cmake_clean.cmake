@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yarn_test.dir/yarn_test.cc.o"
+  "CMakeFiles/yarn_test.dir/yarn_test.cc.o.d"
+  "yarn_test"
+  "yarn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yarn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
