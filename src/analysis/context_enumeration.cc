@@ -1,0 +1,85 @@
+#include "src/analysis/context_enumeration.h"
+
+#include <functional>
+
+namespace ctanalysis {
+
+int StaticContextResult::TotalContexts() const {
+  int total = 0;
+  for (const auto& [point_id, contexts] : contexts_by_point) {
+    total += static_cast<int>(contexts.size());
+  }
+  return total;
+}
+
+bool StaticContextResult::Contains(int point_id, const std::string& stack_key) const {
+  auto it = contexts_by_point.find(point_id);
+  return it != contexts_by_point.end() && it->second.count(stack_key) > 0;
+}
+
+std::set<std::string> ContextEnumeration::EnumerateMethod(const std::string& method_id,
+                                                          int depth) const {
+  std::set<std::string> keys;
+  if (depth <= 0 || graph_->model().FindMethod(method_id) == nullptr) {
+    return keys;
+  }
+  // Backward DFS over sync call edges. A string shorter than `depth` is a
+  // complete stack and must end (outermost) at a context root; a string of
+  // exactly `depth` frames may also be a truncation of a deeper stack, so it
+  // is admitted regardless of where it stops. Cycles are naturally bounded by
+  // the depth cap.
+  std::vector<std::string> path{method_id};
+  std::string key = method_id;
+  std::function<void()> extend = [&] {
+    if (graph_->IsContextRoot(path.back()) ||
+        static_cast<int>(path.size()) == depth) {
+      keys.insert(key);
+    }
+    if (static_cast<int>(path.size()) == depth) {
+      return;
+    }
+    for (const std::string& caller : graph_->SyncCallersOf(path.back())) {
+      path.push_back(caller);
+      std::string saved = key;
+      key += "<" + caller;
+      extend();
+      key = std::move(saved);
+      path.pop_back();
+    }
+  };
+  extend();
+  return keys;
+}
+
+StaticContextResult ContextEnumeration::EnumerateAll(int depth) const {
+  StaticContextResult result;
+  result.depth = depth;
+  const ctmodel::ProgramModel& model = graph_->model();
+  // Anchors repeat across points (several points in one method), so memoize.
+  std::map<std::string, std::set<std::string>> by_anchor;
+  for (const auto& point : model.access_points()) {
+    const std::string anchor = ctmodel::ProgramModel::ContextMethodOf(point);
+    if (!graph_->IsReachable(anchor)) {
+      result.unreachable_points.insert(point.id);
+      continue;
+    }
+    auto it = by_anchor.find(anchor);
+    if (it == by_anchor.end()) {
+      it = by_anchor.emplace(anchor, EnumerateMethod(anchor, depth)).first;
+    }
+    if (!it->second.empty()) {
+      result.contexts_by_point[point.id] = it->second;
+    }
+  }
+  return result;
+}
+
+double ContextCrossCheck::Recall() const {
+  return observed == 0 ? 1.0 : static_cast<double>(matched) / observed;
+}
+
+double ContextCrossCheck::Precision() const {
+  return enumerated == 0 ? 1.0 : static_cast<double>(matched) / enumerated;
+}
+
+}  // namespace ctanalysis

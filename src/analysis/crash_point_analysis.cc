@@ -1,5 +1,8 @@
 #include "src/analysis/crash_point_analysis.h"
 
+#include <memory>
+
+#include "src/analysis/call_graph.h"
 #include "src/common/strings.h"
 
 namespace ctanalysis {
@@ -108,6 +111,10 @@ void CrashPointAnalysis::EmitPoint(const ctmodel::AccessPointDecl& point,
 
 CrashPointResult CrashPointAnalysis::Identify(const CrashPointOptions& options) const {
   CrashPointResult result;
+  std::unique_ptr<CallGraph> graph;
+  if (options.prune_statically_unreachable) {
+    graph = std::make_unique<CallGraph>(*model_);
+  }
   // Promotion sites are only reachable through their promoting read; they are
   // not independent candidates.
   std::set<int> promotion_site_ids;
@@ -122,6 +129,12 @@ CrashPointResult CrashPointAnalysis::Identify(const CrashPointOptions& options) 
       continue;
     }
     ++result.metainfo_access_points;
+
+    if (graph != nullptr &&
+        !graph->IsReachable(ctmodel::ProgramModel::ContextMethodOf(point))) {
+      ++result.pruned_unreachable;
+      continue;
+    }
 
     const ctmodel::FieldDecl* field = model_->FindField(point.field_id);
     if (options.prune_constructor_only && field != nullptr && field->set_only_in_constructor) {

@@ -37,6 +37,10 @@ struct CrashPointOptions {
   bool prune_unused = true;
   bool prune_sanity_checked = true;
   bool promote_returns = true;
+  // Drop candidates whose anchor method the declared call graph cannot reach
+  // from any entry point. Off by default (Table 10/12 counts predate the call
+  // graph); the static-context driver modes switch it on.
+  bool prune_statically_unreachable = false;
 };
 
 struct CrashPointResult {
@@ -49,6 +53,7 @@ struct CrashPointResult {
   int promoted_points = 0;    // returned-directly reads expanded away
   int promotion_sites = 0;    // call sites considered during promotion
   int discarded_non_access_collection_ops = 0;
+  int pruned_unreachable = 0;  // prune_statically_unreachable only
 
   std::set<int> PointIds() const;
   int NumPreRead() const;

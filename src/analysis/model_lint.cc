@@ -1,0 +1,116 @@
+#include "src/analysis/model_lint.h"
+
+#include <set>
+
+#include "src/analysis/call_graph.h"
+#include "src/analysis/crash_point_analysis.h"
+
+namespace ctanalysis {
+
+namespace {
+
+std::string PointSubject(const ctmodel::AccessPointDecl& point) {
+  return "point#" + std::to_string(point.id) + " (" + point.clazz + "." + point.method + ":" +
+         std::to_string(point.line) + ")";
+}
+
+}  // namespace
+
+int LintResult::CountOf(const std::string& check) const {
+  int count = 0;
+  for (const auto& issue : issues) {
+    if (issue.check == check) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+LintResult LintModel(const ctmodel::ProgramModel& model) {
+  LintResult result;
+  auto report = [&](std::string check, std::string subject, std::string message) {
+    result.issues.push_back({std::move(check), std::move(subject), std::move(message)});
+  };
+
+  const int num_points = model.NumAccessPoints();
+  for (const auto& point : model.access_points()) {
+    if (model.FindField(point.field_id) == nullptr) {
+      report("dangling-field", PointSubject(point),
+             "references undeclared field '" + point.field_id + "'");
+    }
+    if (!point.collection_op.empty() && !IsCollectionReadOp(point.collection_op) &&
+        !IsCollectionWriteOp(point.collection_op)) {
+      report("unknown-op", PointSubject(point),
+             "collection op '" + point.collection_op +
+                 "' matches neither Table 3 keyword list");
+    }
+    if (!point.promoted_sites.empty() && !point.returned_directly) {
+      report("dangling-promotion", PointSubject(point),
+             "has promoted_sites but is not returned_directly");
+    }
+    for (int site : point.promoted_sites) {
+      if (site < 0 || site >= num_points) {
+        report("dangling-promotion", PointSubject(point),
+               "promoted site id " + std::to_string(site) + " is out of range");
+      } else if (site == point.id) {
+        report("dangling-promotion", PointSubject(point), "promotes to itself");
+      }
+    }
+    if (point.executable && model.MethodsOf(point.clazz).empty()) {
+      report("method-less-class", PointSubject(point),
+             "executable point in class '" + point.clazz + "' which declares no methods");
+    }
+  }
+
+  for (const auto& binding : model.log_bindings()) {
+    for (const auto& arg : binding.args) {
+      if (!arg.field_id.empty() && model.FindField(arg.field_id) == nullptr) {
+        report("dangling-field", "log#" + std::to_string(binding.statement_id),
+               "log binding references undeclared field '" + arg.field_id + "'");
+      }
+    }
+  }
+
+  // Call-edge and reachability checks share one graph build.
+  CallGraph graph(model);
+  for (const auto& edge : model.call_edges()) {
+    const std::string subject = edge.caller + " -> " + edge.callee;
+    if (model.FindMethod(edge.caller) == nullptr) {
+      report("dangling-edge", subject, "caller is not a declared method");
+    }
+    if (edge.kind == ctmodel::CallKind::kVirtual) {
+      // Virtual targets may be abstract declarations or overrides; require
+      // that dispatch resolves to at least one declared method.
+      const auto dot = edge.callee.rfind('.');
+      const std::string receiver = dot == std::string::npos ? "" : edge.callee.substr(0, dot);
+      const std::string name = dot == std::string::npos ? edge.callee : edge.callee.substr(dot + 1);
+      bool resolved = false;
+      for (const auto& method : model.methods()) {
+        if (method.name == name && model.IsSubtypeOf(method.clazz, receiver)) {
+          resolved = true;
+          break;
+        }
+      }
+      if (!resolved) {
+        report("dangling-edge", subject, "virtual call resolves to no declared method");
+      }
+    } else if (model.FindMethod(edge.callee) == nullptr) {
+      report("dangling-edge", subject, "callee is not a declared method");
+    }
+  }
+
+  for (const auto& point : model.access_points()) {
+    if (!point.executable) {
+      continue;
+    }
+    const std::string anchor = ctmodel::ProgramModel::ContextMethodOf(point);
+    if (!graph.IsReachable(anchor)) {
+      report("unreachable-point", PointSubject(point),
+             "anchor method '" + anchor + "' is unreachable from every entry point");
+    }
+  }
+
+  return result;
+}
+
+}  // namespace ctanalysis

@@ -128,16 +128,62 @@ SystemReport CrashTunerDriver::Run(const SystemUnderTest& system,
   seed_fields.insert(options.annotated_seed_fields.begin(), options.annotated_seed_fields.end());
   report.metainfo = inference.Infer(seed_types, seed_fields);
 
+  const bool static_mode = options.context_mode != ContextMode::kProfiled;
+  ctanalysis::CrashPointOptions crash_point_options = options.crash_point_options;
+  if (static_mode) {
+    crash_point_options.prune_statically_unreachable = true;
+  }
   ctanalysis::CrashPointAnalysis crash_analysis(&model, &report.metainfo);
-  report.crash_points = crash_analysis.Identify(options.crash_point_options);
+  report.crash_points = crash_analysis.Identify(crash_point_options);
 
   report.analysis_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
-  // --- Phase 1c: profiling for dynamic crash points. ------------------------
+  // --- Phase 1c: dynamic crash points (profiled or enumerated). -------------
   Profiler profiler;
-  report.profile =
-      profiler.Profile(system, report.crash_points.PointIds(), /*io_points=*/{}, options.seed);
+  switch (options.context_mode) {
+    case ContextMode::kProfiled:
+      report.profile =
+          profiler.Profile(system, report.crash_points.PointIds(), /*io_points=*/{}, options.seed);
+      break;
+    case ContextMode::kStaticSeeded:
+      // One instrumented run: its observations feed the cross-check below.
+      report.profile = profiler.Profile(system, report.crash_points.PointIds(), /*io_points=*/{},
+                                        options.seed, /*max_iterations=*/1);
+      break;
+    case ContextMode::kStaticOnly:
+      // No instrumentation at all; the run supplies baseline/duration/logs.
+      report.profile = profiler.Profile(system, /*access_points=*/{}, /*io_points=*/{},
+                                        options.seed, /*max_iterations=*/1);
+      break;
+  }
+  if (static_mode) {
+    ctanalysis::CallGraph graph(model);
+    ctanalysis::ContextEnumeration enumeration(&graph);
+    ctanalysis::StaticContextResult contexts =
+        enumeration.EnumerateAll(options.static_context_depth);
+    report.context_check =
+        ctanalysis::CompareWithProfile(contexts, report.profile.dynamic_access_points);
+    std::set<ctrt::DynamicPoint> static_points;
+    for (int id : report.crash_points.PointIds()) {
+      const ctmodel::AccessPointDecl& point = model.access_point(id);
+      if (!point.executable) {
+        continue;  // catalog-only candidates carry no runtime hook to arm
+      }
+      auto it = contexts.contexts_by_point.find(id);
+      if (it == contexts.contexts_by_point.end()) {
+        if (contexts.unreachable_points.count(id) > 0) {
+          ++report.static_unreachable_points;
+        }
+        continue;
+      }
+      for (const std::string& key : it->second) {
+        static_points.insert({id, key});
+      }
+    }
+    report.static_contexts = static_cast<int>(static_points.size());
+    report.profile.dynamic_access_points = std::move(static_points);
+  }
   report.profile_virtual_seconds =
       static_cast<double>(report.profile.normal_duration_ms) * report.profile.iterations / 1000.0;
 

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/context_enumeration.h"
 #include "src/analysis/crash_point_analysis.h"
 #include "src/analysis/log_analysis.h"
 #include "src/analysis/metainfo_inference.h"
@@ -60,6 +61,11 @@ struct SystemReport {
   double profile_virtual_seconds = 0;
   double test_virtual_hours = 0;
 
+  // Static context enumeration (context modes other than kProfiled).
+  int static_contexts = 0;            // enumerated ⟨point, context⟩ pairs in use
+  int static_unreachable_points = 0;  // executable candidates with no reachable anchor
+  ctanalysis::ContextCrossCheck context_check;  // vs the profiled set (kStaticSeeded)
+
   ctanalysis::LogAnalysisResult log_result;
   ctanalysis::MetaInfoResult metainfo;
   ctanalysis::CrashPointResult crash_points;
@@ -71,9 +77,21 @@ struct SystemReport {
   int InjectionsWithFault() const;
 };
 
+// Where the driver's dynamic crash points come from (Definition 1 pairs).
+//   kProfiled      workload-doubling profiling fixpoint (§3.1.3; the default)
+//   kStaticSeeded  bounded call-string enumeration over the declared call
+//                  graph replaces the profiled set; one instrumented run
+//                  still happens and feeds the recall/precision cross-check
+//   kStaticOnly    no instrumented run at all — a single tracer-off run
+//                  provides baseline/duration/logs, contexts are all static
+enum class ContextMode { kProfiled, kStaticSeeded, kStaticOnly };
+
 struct DriverOptions {
   uint64_t seed = 2019;
   ctanalysis::CrashPointOptions crash_point_options;
+  ContextMode context_mode = ContextMode::kProfiled;
+  // Call-string bound for the static modes (the tracer's stack depth).
+  int static_context_depth = 5;
   // Pre-read trigger wait window (§3.2.2; the paper defaults to 10 s). The
   // window must outlast failure handling for the recovery to race the read.
   ctsim::Time pre_read_wait_ms = FaultInjectionTester::kPreReadWaitMs;

@@ -3,12 +3,16 @@
 namespace ctcore {
 
 ProfileResult Profiler::Profile(const SystemUnderTest& system, const std::set<int>& access_points,
-                                const std::set<int>& io_points, uint64_t seed) const {
+                                const std::set<int>& io_points, uint64_t seed,
+                                int max_iterations) const {
   ProfileResult result;
   ctrt::AccessTracer& tracer = ctrt::AccessTracer::Instance();
 
+  if (max_iterations < 1) {
+    max_iterations = 1;
+  }
   int size = system.default_workload_size();
-  for (int iteration = 0; iteration < kMaxIterations; ++iteration) {
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
     tracer.Reset(ctrt::TraceMode::kProfile);
     tracer.SetProfiledPoints(access_points, io_points);
 

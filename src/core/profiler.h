@@ -36,9 +36,12 @@ class Profiler {
 
   // `access_points` / `io_points` are the static point ids to instrument
   // (static crash points for CrashTuner, static IO points for the IO
-  // baseline; either may be empty).
+  // baseline; either may be empty). `max_iterations` caps the workload
+  // doubling; 1 yields a single observation run (the static-context modes
+  // need the baseline/duration/logs but not the fixpoint).
   ProfileResult Profile(const SystemUnderTest& system, const std::set<int>& access_points,
-                        const std::set<int>& io_points, uint64_t seed) const;
+                        const std::set<int>& io_points, uint64_t seed,
+                        int max_iterations = kMaxIterations) const;
 };
 
 }  // namespace ctcore

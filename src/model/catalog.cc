@@ -1,6 +1,9 @@
 #include "src/model/catalog.h"
 
+#include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/rng.h"
 
@@ -35,6 +38,10 @@ void PopulateCatalog(ProgramModel* model, const CatalogSpec& spec) {
   ctcommon::Rng rng(spec.seed);
   AddBaseTypes(model);
 
+  // Classes and the point methods they used, in creation order; consumed by
+  // the call-structure pass below without touching `rng`'s draw sequence.
+  std::vector<std::pair<std::string, std::set<std::string>>> class_methods;
+
   int counter = 0;
   auto next_class_name = [&]() {
     const std::string& pkg = spec.packages[counter % spec.packages.size()];
@@ -65,6 +72,7 @@ void PopulateCatalog(ProgramModel* model, const CatalogSpec& spec) {
       field.type = metainfo_type;
       model->AddField(field);
       std::string field_id = clazz + "." + field.name;
+      class_methods.emplace_back(clazz, std::set<std::string>{});
 
       int accesses = static_cast<int>(
           rng.Uniform(spec.min_accesses_per_field, spec.max_accesses_per_field));
@@ -76,6 +84,7 @@ void PopulateCatalog(ProgramModel* model, const CatalogSpec& spec) {
         point.method = rng.Chance(0.5) ? "handle" : "process";
         point.line = 20 + a * 7;
         point.synthetic = true;
+        class_methods.back().second.insert(point.method);
         if (point.kind == AccessKind::kRead) {
           point.value_unused = rng.Chance(spec.unused_read_fraction);
           if (!point.value_unused) {
@@ -94,6 +103,7 @@ void PopulateCatalog(ProgramModel* model, const CatalogSpec& spec) {
     type.name = clazz;
     type.closeable = rng.Chance(spec.closeable_fraction);
     model->AddType(type);
+    class_methods.emplace_back(clazz, std::set<std::string>{});
 
     if (type.closeable) {
       int io_methods = static_cast<int>(rng.Uniform(1, 3));
@@ -133,6 +143,7 @@ void PopulateCatalog(ProgramModel* model, const CatalogSpec& spec) {
         point.method = "serve" + std::to_string(a % 3);
         point.line = 30 + a * 11;
         point.synthetic = true;
+        class_methods.back().second.insert(point.method);
         if (point.kind == AccessKind::kRead) {
           point.value_unused = rng.Chance(spec.unused_read_fraction);
           if (!point.value_unused) {
@@ -141,6 +152,34 @@ void PopulateCatalog(ProgramModel* model, const CatalogSpec& spec) {
         }
         model->AddAccessPoint(point);
       }
+    }
+  }
+
+  // Synthetic call structure over the catalog classes. A separate generator
+  // (fixed derived seed) keeps the draw sequence of the loops above — and
+  // with it every already-generated artifact — byte-identical.
+  ctcommon::Rng call_rng(spec.seed ^ 0x9e3779b97f4a7c15ull);
+  for (const auto& [clazz, methods] : class_methods) {
+    MethodDecl run;
+    run.clazz = clazz;
+    run.name = "run";
+    run.entry_point = call_rng.Chance(spec.entry_point_fraction);
+    run.synthetic = true;
+    model->AddMethod(run);
+    for (const auto& name : methods) {
+      MethodDecl method;
+      method.clazz = clazz;
+      method.name = name;
+      method.synthetic = true;
+      model->AddMethod(method);
+      model->AddCallEdge({clazz + ".run", clazz + "." + name, CallKind::kStatic});
+    }
+  }
+  for (size_t c = 1; c < class_methods.size(); ++c) {
+    if (call_rng.Chance(spec.call_chain_fraction)) {
+      CallKind kind = call_rng.Chance(0.2) ? CallKind::kAsync : CallKind::kStatic;
+      model->AddCallEdge(
+          {class_methods[c - 1].first + ".run", class_methods[c].first + ".run", kind});
     }
   }
 }

@@ -47,6 +47,13 @@ struct CatalogSpec {
   // core. Names must match types the executable model declares.
   std::vector<std::string> metainfo_field_types;
   int holders_per_metainfo_type = 3;
+  // Synthetic call structure: every catalog class gets a `run` driver method
+  // calling the class's access-point methods; `run` is an entry point with
+  // this probability, and consecutive classes chain their drivers with this
+  // probability (giving the static context enumeration multi-frame strings
+  // and genuinely unreachable regions to prune).
+  double entry_point_fraction = 0.35;
+  double call_chain_fraction = 0.25;
   uint64_t seed = 1;
 };
 

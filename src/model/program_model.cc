@@ -21,6 +21,17 @@ void ProgramModel::AddField(FieldDecl field) {
   fields_.push_back(std::move(field));
 }
 
+void ProgramModel::AddMethod(MethodDecl method) {
+  if (method.id.empty()) {
+    method.id = method.clazz + "." + method.name;
+  }
+  CT_CHECK_MSG(method_index_.find(method.id) == method_index_.end(), method.id.c_str());
+  method_index_[method.id] = static_cast<int>(methods_.size());
+  methods_.push_back(std::move(method));
+}
+
+void ProgramModel::AddCallEdge(CallEdgeDecl edge) { call_edges_.push_back(std::move(edge)); }
+
 int ProgramModel::AddAccessPoint(AccessPointDecl point) {
   point.id = static_cast<int>(access_points_.size());
   access_points_.push_back(std::move(point));
@@ -45,6 +56,18 @@ const TypeDecl* ProgramModel::FindType(const std::string& name) const {
 const FieldDecl* ProgramModel::FindField(const std::string& id) const {
   auto it = field_index_.find(id);
   return it == field_index_.end() ? nullptr : &fields_[it->second];
+}
+
+const MethodDecl* ProgramModel::FindMethod(const std::string& id) const {
+  auto it = method_index_.find(id);
+  return it == method_index_.end() ? nullptr : &methods_[it->second];
+}
+
+std::string ProgramModel::ContextMethodOf(const AccessPointDecl& point) {
+  if (!point.context_method.empty()) {
+    return point.context_method;
+  }
+  return point.clazz + "." + point.method;
 }
 
 const AccessPointDecl& ProgramModel::access_point(int id) const {
@@ -102,6 +125,16 @@ std::vector<const FieldDecl*> ProgramModel::FieldsOf(const std::string& clazz) c
   for (const auto& field : fields_) {
     if (field.clazz == clazz) {
       out.push_back(&field);
+    }
+  }
+  return out;
+}
+
+std::vector<const MethodDecl*> ProgramModel::MethodsOf(const std::string& clazz) const {
+  std::vector<const MethodDecl*> out;
+  for (const auto& method : methods_) {
+    if (method.clazz == clazz) {
+      out.push_back(&method);
     }
   }
   return out;

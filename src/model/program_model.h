@@ -43,6 +43,33 @@ struct FieldDecl {
   bool set_only_in_constructor = false;
 };
 
+// A method in the system under test. The id is "Class.method", matching the
+// frame strings ScopedFrame pushes at runtime. Entry points are the roots the
+// call-graph reachability starts from: RPC/event handlers invoked directly by
+// the workload, plus methods scheduled from timers or lambdas the model does
+// not represent as callers.
+struct MethodDecl {
+  std::string id;     // "Class.method"; derived from clazz+name if empty
+  std::string clazz;  // declaring class
+  std::string name;
+  bool entry_point = false;  // call-graph root (handler / timer / main)
+  bool synthetic = false;    // catalog entry, never executed
+};
+
+// How a call site binds to its target (WALA dispatch kinds, §2 of the paper's
+// background). Virtual calls name the static receiver type's method; dispatch
+// resolution fans them out to every subtype override that exists in the model.
+// Async edges (executor submits, timer schedules) propagate reachability but
+// start a fresh call string: the callee runs on another thread with an empty
+// stack, exactly as ScopedFrame observes it.
+enum class CallKind { kStatic, kVirtual, kAsync };
+
+struct CallEdgeDecl {
+  std::string caller;  // MethodDecl id
+  std::string callee;  // MethodDecl id (for kVirtual: the static target)
+  CallKind kind = CallKind::kStatic;
+};
+
 enum class AccessKind { kRead, kWrite };
 
 // One program point that reads or writes a field (directly or through a
@@ -64,6 +91,10 @@ struct AccessPointDecl {
   std::vector<int> promoted_sites;
   bool executable = false;  // wired to a runtime hook in the mini system
   bool synthetic = false;   // catalog entry, never executed
+  // Method whose frame is innermost when the runtime hook fires, when that
+  // differs from clazz.method: some hooks sit before their own frame push or
+  // in a callee inlined into the caller's frame. Empty → clazz.method.
+  std::string context_method;
 };
 
 // Per-placeholder description of a logging statement's arguments.
@@ -101,6 +132,8 @@ class ProgramModel {
   // --- Construction -------------------------------------------------------
   void AddType(TypeDecl type);
   void AddField(FieldDecl field);
+  void AddMethod(MethodDecl method);
+  void AddCallEdge(CallEdgeDecl edge);
   // Assigns and returns the access-point id.
   int AddAccessPoint(AccessPointDecl point);
   void BindLog(LogBinding binding);
@@ -110,8 +143,13 @@ class ProgramModel {
   // --- Queries -------------------------------------------------------------
   const TypeDecl* FindType(const std::string& name) const;
   const FieldDecl* FindField(const std::string& id) const;
+  const MethodDecl* FindMethod(const std::string& id) const;
   const AccessPointDecl& access_point(int id) const;
   const IoPointDecl& io_point(int id) const;
+
+  // Innermost runtime frame for an access point: context_method if set,
+  // otherwise "clazz.method".
+  static std::string ContextMethodOf(const AccessPointDecl& point);
 
   // True if `name` equals `ancestor` or transitively extends it.
   bool IsSubtypeOf(const std::string& name, const std::string& ancestor) const;
@@ -121,11 +159,15 @@ class ProgramModel {
   std::vector<std::string> CollectionsOf(const std::string& name) const;
   // Fields declared by class `clazz`.
   std::vector<const FieldDecl*> FieldsOf(const std::string& clazz) const;
+  // Methods declared by class `clazz`.
+  std::vector<const MethodDecl*> MethodsOf(const std::string& clazz) const;
   // All access points touching `field_id`.
   std::vector<const AccessPointDecl*> PointsOn(const std::string& field_id) const;
 
   const std::vector<TypeDecl>& types() const { return types_; }
   const std::vector<FieldDecl>& fields() const { return fields_; }
+  const std::vector<MethodDecl>& methods() const { return methods_; }
+  const std::vector<CallEdgeDecl>& call_edges() const { return call_edges_; }
   const std::vector<AccessPointDecl>& access_points() const { return access_points_; }
   const std::vector<LogBinding>& log_bindings() const { return log_bindings_; }
   const std::vector<IoMethodDecl>& io_methods() const { return io_methods_; }
@@ -134,6 +176,8 @@ class ProgramModel {
   // Table 10 / Table 8 totals.
   int NumTypes() const { return static_cast<int>(types_.size()); }
   int NumFields() const { return static_cast<int>(fields_.size()); }
+  int NumMethods() const { return static_cast<int>(methods_.size()); }
+  int NumCallEdges() const { return static_cast<int>(call_edges_.size()); }
   int NumAccessPoints() const { return static_cast<int>(access_points_.size()); }
   int NumIoClasses() const;
   int NumIoMethods() const { return static_cast<int>(io_methods_.size()); }
@@ -145,6 +189,9 @@ class ProgramModel {
   std::map<std::string, int> type_index_;
   std::vector<FieldDecl> fields_;
   std::map<std::string, int> field_index_;
+  std::vector<MethodDecl> methods_;
+  std::map<std::string, int> method_index_;
+  std::vector<CallEdgeDecl> call_edges_;
   std::vector<AccessPointDecl> access_points_;
   std::vector<LogBinding> log_bindings_;
   std::vector<IoMethodDecl> io_methods_;

@@ -74,6 +74,26 @@ CassArtifacts* Build() {
   points.read_path_read = add_point("TokenMetadata.ring", AccessKind::kRead, "StorageProxy",
                                     "readRegular", 330, "get", /*sanity=*/true);
 
+  // Declared call structure. Writes fan out from the coordinator proxy; the
+  // read path is a declared RPC entry the write-only workload never drives,
+  // so its ring read is enumerable statically but never profiled.
+  auto add_method = [&](const std::string& clazz, const std::string& name, bool entry = false) {
+    ctmodel::MethodDecl method;
+    method.clazz = clazz;
+    method.name = name;
+    method.entry_point = entry;
+    model.AddMethod(method);
+  };
+  add_method("StorageProxy", "performWrite", /*entry=*/true);
+  add_method("StorageProxy", "readRegular", /*entry=*/true);
+  add_method("Gossiper", "applyStateLocally", /*entry=*/true);
+  add_method("Gossiper", "markDead", /*entry=*/true);
+  add_method("Keyspace", "apply");
+  add_method("HintsService", "write");
+  model.AddCallEdge({"StorageProxy.performWrite", "Keyspace.apply", ctmodel::CallKind::kStatic});
+  model.AddCallEdge({"StorageProxy.performWrite", "HintsService.write",
+                     ctmodel::CallKind::kStatic});
+
   auto& registry = ctlog::StatementRegistry::Instance();
   auto& stmts = artifacts->stmts;
   auto bind = [&](int id, std::vector<ctmodel::LogArg> args) {

@@ -87,8 +87,7 @@ HBaseArtifacts* Build() {
   points.master_balancer_read = add_point("AssignmentManager.regionStates", AccessKind::kRead,
                                           "LoadBalancer", "balanceCluster", 143, "values");
   points.master_status_read = add_point("ServerManager.onlineServers", AccessKind::kRead,
-                                        "MasterRpcServices.getClusterStatus", "getClusterStatus",
-                                        61, "contain");
+                                        "MasterRpcServices", "getClusterStatus", 61, "contain");
   points.master_znode_read = add_point("ReplicationZKWatcher.peersZNode", AccessKind::kRead,
                                        "ReplicationZKWatcher", "refreshPeers", 33);
   points.rs_metrics1_write = add_point("HRegionServer.metricsRegionServer", AccessKind::kWrite,
@@ -99,6 +98,31 @@ HBaseArtifacts* Build() {
                                           "HRegion", "openRegion", 710, "put");
   points.rs_open_rebalance_write = add_point("HRegionServer.onlineRegions", AccessKind::kWrite,
                                              "HRegion", "openRegionRebalance", 733, "put");
+
+  // Declared call structure. Master RPCs, the active-master bootstrap
+  // procedure, chores and ZK watchers all start a fresh stack; the only
+  // nested frame the workload produces is the rebalance path reopening a
+  // region from within openRegion.
+  auto add_method = [&](const std::string& clazz, const std::string& name, bool entry = false) {
+    ctmodel::MethodDecl method;
+    method.clazz = clazz;
+    method.name = name;
+    method.entry_point = entry;
+    model.AddMethod(method);
+  };
+  add_method("ServerManager", "regionServerReport", /*entry=*/true);
+  add_method("MasterRpcServices", "getClusterStatus", /*entry=*/true);
+  add_method("HMaster", "finishActiveMasterInitialization", /*entry=*/true);
+  add_method("ServerCrashProcedure", "execute", /*entry=*/true);
+  add_method("LoadBalancer", "balanceCluster", /*entry=*/true);
+  add_method("ReplicationZKWatcher", "refreshPeers", /*entry=*/true);
+  add_method("HRegionServer", "initializeMetrics", /*entry=*/true);
+  add_method("MetricsRegionServerWrapperImpl", "init", /*entry=*/true);
+  add_method("HRegion", "openRegion", /*entry=*/true);
+  add_method("HRegion", "doMiniBatchMutate", /*entry=*/true);
+  add_method("HRegion", "openRegionRebalance");
+  model.AddCallEdge({"HRegion.openRegion", "HRegion.openRegionRebalance",
+                     ctmodel::CallKind::kStatic});
 
   auto& registry = ctlog::StatementRegistry::Instance();
   auto& stmts = artifacts->stmts;

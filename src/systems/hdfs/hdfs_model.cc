@@ -88,6 +88,32 @@ HdfsArtifacts* Build() {
   points.nn_journal_replay_read = add_point("BlockManager.blockLocations", AccessKind::kRead,
                                             "FSEditLogLoader", "replay", 17, "values");
 
+  // Declared call structure. NameNode RPCs and the DataNode heartbeat timer
+  // are stack roots; the two getDatanode contexts come from its two callers.
+  auto add_method = [&](const std::string& clazz, const std::string& name, bool entry = false) {
+    ctmodel::MethodDecl method;
+    method.clazz = clazz;
+    method.name = name;
+    method.entry_point = entry;
+    model.AddMethod(method);
+  };
+  auto add_call = [&](const std::string& caller, const std::string& callee,
+                      ctmodel::CallKind kind = ctmodel::CallKind::kStatic) {
+    model.AddCallEdge({caller, callee, kind});
+  };
+  add_method("DatanodeManager", "registerDatanode", /*entry=*/true);
+  add_method("FSNamesystem", "startFile", /*entry=*/true);
+  add_method("FSNamesystem", "getBlockLocations", /*entry=*/true);
+  add_method("FSNamesystem", "getFsStatus", /*entry=*/true);
+  add_method("DatanodeManager", "removeDeadDatanode", /*entry=*/true);
+  add_method("FSEditLogLoader", "replay", /*entry=*/true);
+  add_method("BPOfferService", "blockReport", /*entry=*/true);
+  add_method("BPOfferService", "stop", /*entry=*/true);
+  add_method("BlockReceiver", "receivePacket", /*entry=*/true);
+  add_method("DatanodeManager", "getDatanode");
+  add_call("FSNamesystem.startFile", "DatanodeManager.getDatanode");
+  add_call("FSNamesystem.getBlockLocations", "DatanodeManager.getDatanode");
+
   auto& registry = ctlog::StatementRegistry::Instance();
   auto& stmts = artifacts->stmts;
   auto bind = [&](int id, std::vector<ctmodel::LogArg> args) {

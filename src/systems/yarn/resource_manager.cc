@@ -339,7 +339,7 @@ void ResourceManager::ContainerCompleted(const Message& m) {
 }
 
 void ResourceManager::CompleteOnNode(const std::string& container_id,
-                                     const std::string& node_id) {
+                                     std::string node_id) {
   CT_FRAME("AbstractYarnScheduler.completeContainer");
   // YARN-9164 (Fig. 10): getScheNode's nodes.get is promoted to this call
   // site; nothing re-checks that the node survived, and the NPE below kills

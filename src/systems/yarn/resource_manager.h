@@ -97,7 +97,9 @@ class ResourceManager : public ctsim::Node {
 
   // Shared container-completion path holding the promoted getScheNode read of
   // Fig. 10 (YARN-9164). Throws NullPointerException when the node is gone.
-  void CompleteOnNode(const std::string& container_id, const std::string& node_id);
+  // node_id is taken by value: callers pass strings owned by containers_,
+  // and the injection hook inside may run recovery that erases that entry.
+  void CompleteOnNode(const std::string& container_id, std::string node_id);
 
   std::string NewContainerOn(const std::string& node_id, const std::string& attempt_id, int task,
                              bool master);

@@ -49,7 +49,8 @@ struct PointSpec {
   std::string clazz;
   std::string method;
   int line = 0;
-  std::string op;
+  std::string op{};
+  std::string context{};  // anchor override when the hook fires in another frame
   bool unused = false;
   bool sanity = false;
   bool returned = false;
@@ -64,11 +65,26 @@ int AddPoint(ProgramModel* model, const PointSpec& spec) {
   point.method = spec.method;
   point.line = spec.line;
   point.collection_op = spec.op;
+  point.context_method = spec.context;
   point.value_unused = spec.unused;
   point.sanity_checked = spec.sanity;
   point.returned_directly = spec.returned;
   point.executable = spec.executable;
   return model->AddAccessPoint(point);
+}
+
+void AddMethod(ProgramModel* model, const std::string& clazz, const std::string& name,
+               bool entry = false) {
+  ctmodel::MethodDecl method;
+  method.clazz = clazz;
+  method.name = name;
+  method.entry_point = entry;
+  model->AddMethod(method);
+}
+
+void AddCall(ProgramModel* model, const std::string& caller, const std::string& callee,
+             ctmodel::CallKind kind = ctmodel::CallKind::kStatic) {
+  model->AddCallEdge({caller, callee, kind});
 }
 
 void BuildTypes(ProgramModel* model) {
@@ -116,6 +132,10 @@ void BuildTypes(ProgramModel* model) {
   AddType(model, "mapred.JVMId");
   // Scheduler-internal value type (not meta-info by itself).
   AddType(model, "yarn.server.scheduler.SchedulerNode");
+  // Scheduler class hierarchy: lets virtual calls against the abstract
+  // scheduler dispatch to the capacity scheduler in the call graph.
+  AddType(model, "AbstractYarnScheduler");
+  AddType(model, "CapacityScheduler", "AbstractYarnScheduler");
 
   // Collections over the above.
   AddType(model, "HashMap<NodeId,SchedulerNode>", "",
@@ -245,13 +265,16 @@ void BuildPoints(YarnArtifacts* artifacts) {
   auto& points = artifacts->points;
   const bool legacy = artifacts->mode == YarnMode::kLegacy;
 
+  // addNode is inlined into the register RPC at runtime, so the innermost
+  // frame the tracer sees is registerNodeManager, not the declaring method.
   points.rm_register_node_write =
       AddPoint(&model, {.field = "AbstractYarnScheduler.nodes",
                         .kind = AccessKind::kWrite,
                         .clazz = "AbstractYarnScheduler",
                         .method = "addNode",
                         .line = 88,
-                        .op = "put"});
+                        .op = "put",
+                        .context = "ResourceTrackerService.registerNodeManager"});
   points.rm_allocate_current_attempt =
       AddPoint(&model, {.field = "RMAppImpl.currentAttempt",
                         .kind = AccessKind::kRead,
@@ -389,6 +412,7 @@ void BuildPoints(YarnArtifacts* artifacts) {
                                                    .method = "getNodeResource",
                                                    .line = 2,
                                                    .op = "get",
+                                                   .context = "RMContainerAllocator.assigned",
                                                    .sanity = !legacy});
   points.am_commit_write = AddPoint(&model, {.field = "MRAppMaster.commit",
                                              .kind = AccessKind::kWrite,
@@ -422,6 +446,80 @@ void BuildPoints(YarnArtifacts* artifacts) {
                                                  .method = "launchJvm",
                                                  .line = 71,
                                                  .op = "put"});
+}
+
+// Declared call structure (§3.1.3): which methods are RPC / dispatcher /
+// timer entry points (a fresh stack is born there), which calls stay on the
+// caller's stack, and which hop to another thread. The static context
+// enumeration reproduces every profiler-observable stack from this.
+void BuildMethods(ProgramModel* model) {
+  // ResourceManager RPC and dispatcher entry points.
+  AddMethod(model, "ResourceTrackerService", "registerNodeManager", /*entry=*/true);
+  AddMethod(model, "ClientRMService", "submitApplication", /*entry=*/true);
+  AddMethod(model, "ClientRMService", "getClusterStatus", /*entry=*/true);
+  AddMethod(model, "ApplicationMasterService", "registerApplicationMaster", /*entry=*/true);
+  AddMethod(model, "OpportunisticAMSProcessor", "allocate", /*entry=*/true);
+  AddMethod(model, "CapacityScheduler", "containerCompleted", /*entry=*/true);
+  AddMethod(model, "SchedulerApplicationAttempt", "releaseContainers", /*entry=*/true);
+  AddMethod(model, "RMAppImpl", "finishApplication", /*entry=*/true);
+  AddMethod(model, "RMAppImpl", "statusUpdate", /*entry=*/true);
+  AddMethod(model, "ContainerImpl", "handle", /*entry=*/true);
+  AddMethod(model, "NodeListManager", "getNodeReport", /*entry=*/true);
+  AddMethod(model, "NodesListManager", "handleNodeLost", /*entry=*/true);
+  AddMethod(model, "RMAppAttemptImpl", "amFailed", /*entry=*/true);
+
+  // ResourceManager internals.
+  AddMethod(model, "AbstractYarnScheduler", "addNode");
+  AddMethod(model, "AbstractYarnScheduler", "completeContainer");
+  AddMethod(model, "AbstractYarnScheduler", "confirmContainer");
+  AddMethod(model, "AbstractYarnScheduler", "getScheNode");
+  AddMethod(model, "CapacityScheduler", "allocateGuaranteed");
+  AddMethod(model, "OpportunisticContainerAllocator", "allocateNodes");
+  AddMethod(model, "RMAppAttemptImpl", "storeAttempt");
+  AddMethod(model, "RMAppAttemptImpl", "attemptFailed");
+  AddMethod(model, "RMContainerImpl", "processLaunched");
+
+  AddCall(model, "ResourceTrackerService.registerNodeManager", "AbstractYarnScheduler.addNode");
+  AddCall(model, "ClientRMService.submitApplication", "RMAppAttemptImpl.storeAttempt");
+  AddCall(model, "RMAppAttemptImpl.amFailed", "RMAppAttemptImpl.attemptFailed");
+  AddCall(model, "NodesListManager.handleNodeLost", "RMAppAttemptImpl.attemptFailed");
+  AddCall(model, "RMAppAttemptImpl.attemptFailed", "RMAppAttemptImpl.storeAttempt");
+  AddCall(model, "RMAppAttemptImpl.attemptFailed", "AbstractYarnScheduler.completeContainer");
+  AddCall(model, "OpportunisticAMSProcessor.allocate",
+          "OpportunisticContainerAllocator.allocateNodes");
+  // Virtual dispatch through the scheduler interface resolves to the
+  // capacity scheduler via the subtype edge declared in BuildTypes.
+  AddCall(model, "OpportunisticAMSProcessor.allocate",
+          "AbstractYarnScheduler.allocateGuaranteed", ctmodel::CallKind::kVirtual);
+  AddCall(model, "CapacityScheduler.containerCompleted",
+          "AbstractYarnScheduler.completeContainer");
+  AddCall(model, "RMAppImpl.finishApplication", "AbstractYarnScheduler.completeContainer");
+  AddCall(model, "NodeListManager.getNodeReport", "AbstractYarnScheduler.getScheNode");
+  AddCall(model, "AbstractYarnScheduler.completeContainer",
+          "AbstractYarnScheduler.getScheNode");
+  // Container launch is acknowledged on the scheduler event thread; attempt
+  // storage confirms the master container from the state-store callback.
+  AddCall(model, "OpportunisticAMSProcessor.allocate", "RMContainerImpl.processLaunched",
+          ctmodel::CallKind::kAsync);
+  AddCall(model, "RMAppAttemptImpl.storeAttempt", "AbstractYarnScheduler.confirmContainer",
+          ctmodel::CallKind::kAsync);
+
+  // ApplicationMaster / NodeManager side.
+  AddMethod(model, "MRAppMaster", "serviceStart", /*entry=*/true);
+  AddMethod(model, "MRAppMaster", "statusUpdate", /*entry=*/true);
+  AddMethod(model, "MRAppMaster", "getNodeResource");
+  AddMethod(model, "RMContainerAllocator", "assigned", /*entry=*/true);
+  AddMethod(model, "RMContainerAllocator", "taskNodeLost", /*entry=*/true);
+  AddMethod(model, "TaskAttemptListener", "commitPending", /*entry=*/true);
+  AddMethod(model, "TaskAttemptListener", "done", /*entry=*/true);
+  AddMethod(model, "ContainerLaunch", "launchJvm", /*entry=*/true);
+  AddMethod(model, "FileOutputCommitter", "writeOutput", /*entry=*/true);
+  AddMethod(model, "TaskAttemptImpl", "initialize");
+
+  AddCall(model, "RMContainerAllocator.assigned", "MRAppMaster.getNodeResource");
+  // The JVM bootstrap registers the task attempt from the child runner thread.
+  AddCall(model, "ContainerLaunch.launchJvm", "TaskAttemptImpl.initialize",
+          ctmodel::CallKind::kAsync);
 }
 
 void BuildIoPoints(YarnArtifacts* artifacts) {
@@ -486,6 +584,7 @@ YarnArtifacts* BuildArtifacts(YarnMode mode) {
   BuildFields(&artifacts->model);
   BuildStatements(artifacts);
   BuildPoints(artifacts);
+  BuildMethods(&artifacts->model);
   BuildIoPoints(artifacts);
   BuildCatalog(&artifacts->model);
   return artifacts;

@@ -56,7 +56,8 @@ ZkArtifacts* Build() {
   add_field("zookeeper.server.Session", "owner", "java.lang.Integer", /*ctor_only=*/true);
 
   auto add_point = [&](const std::string& field, AccessKind kind, const std::string& clazz,
-                       const std::string& method, int line, const std::string& op = "") {
+                       const std::string& method, int line, const std::string& op = "",
+                       const std::string& context = "") {
     AccessPointDecl point;
     point.field_id = field;
     point.kind = kind;
@@ -64,6 +65,7 @@ ZkArtifacts* Build() {
     point.method = method;
     point.line = line;
     point.collection_op = op;
+    point.context_method = context;
     point.executable = true;
     return model.AddAccessPoint(point);
   };
@@ -76,8 +78,33 @@ ZkArtifacts* Build() {
       add_point("DataTree.nodes", AccessKind::kRead, "DataTree", "getData", 402, "get");
   points.quorum_member_write = add_point("QuorumPeer.currentLeader", AccessKind::kWrite,
                                          "QuorumPeer", "updateElectionVote", 88);
+  // The leader reference is checked while pRequest decides whether to
+  // forward; the follower processor's own frame is not pushed yet.
   points.leader_ref_read = add_point("QuorumPeer.currentLeader", AccessKind::kRead,
-                                     "FollowerRequestProcessor", "processRequest", 71);
+                                     "FollowerRequestProcessor", "processRequest", 71, "",
+                                     "PrepRequestProcessor.pRequest");
+
+  // Declared call structure. The request pipeline forwards createNode from
+  // both the prep processor (leader path) and the sync thread (replay path).
+  auto add_method = [&](const std::string& clazz, const std::string& name, bool entry = false) {
+    ctmodel::MethodDecl method;
+    method.clazz = clazz;
+    method.name = name;
+    method.entry_point = entry;
+    model.AddMethod(method);
+  };
+  add_method("PrepRequestProcessor", "pRequest", /*entry=*/true);
+  add_method("SyncRequestProcessor", "run", /*entry=*/true);
+  add_method("DataTree", "getData", /*entry=*/true);
+  add_method("QuorumPeer", "updateElectionVote", /*entry=*/true);
+  add_method("DataTree", "createNode");
+  add_method("FollowerRequestProcessor", "processRequest");
+  model.AddCallEdge({"PrepRequestProcessor.pRequest", "DataTree.createNode",
+                     ctmodel::CallKind::kStatic});
+  model.AddCallEdge({"SyncRequestProcessor.run", "DataTree.createNode",
+                     ctmodel::CallKind::kStatic});
+  model.AddCallEdge({"PrepRequestProcessor.pRequest", "FollowerRequestProcessor.processRequest",
+                     ctmodel::CallKind::kStatic});
 
   auto& registry = ctlog::StatementRegistry::Instance();
   auto& stmts = artifacts->stmts;

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Repository CI: warnings-as-errors build, tier-1 tests, model lint, then an
+# ASan+UBSan build of the same tree. Run from the repository root:
+#   tools/ci.sh [--skip-sanitizers]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="$(nproc 2>/dev/null || echo 4)"
+skip_sanitizers=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitizers) skip_sanitizers=1 ;;
+    *) echo "usage: tools/ci.sh [--skip-sanitizers]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== stage 1: build (-Wall -Wextra -Werror) =="
+cmake -B build -S . -DCRASHTUNER_WERROR=ON
+cmake --build build -j "$jobs"
+
+echo "== stage 2: tests =="
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "== stage 3: model lint =="
+./build/tools/ctlint --summary
+
+if [[ "$skip_sanitizers" == 1 ]]; then
+  echo "== stage 4: sanitizers skipped =="
+  exit 0
+fi
+
+echo "== stage 4: ASan+UBSan build + tests =="
+cmake -B build-asan -S . -DCRASHTUNER_SANITIZE=address,undefined
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs"
+./build-asan/tools/ctlint
+
+echo "CI green."
