@@ -10,7 +10,8 @@ int main() {
   ctbench::PrintHeader("Ablation — call-stack depth bound vs dynamic crash points (mini-YARN)");
   std::printf("%5s %16s %10s %14s\n", "depth", "dynamic points", "bugs", "test virt h");
   for (int depth = 1; depth <= 6; ++depth) {
-    ctrt::AccessTracer::Instance().set_stack_depth(depth);
+    // Every per-run tracer the driver creates inherits the swept default.
+    ctrt::AccessTracer::SetDefaultStackDepth(depth);
     ctyarn::YarnSystem yarn;
     ctcore::CrashTunerDriver driver;
     ctcore::SystemReport report = driver.Run(yarn);
@@ -18,6 +19,6 @@ int main() {
                 report.bugs.size(), report.test_virtual_hours,
                 depth == ctrt::CallStack::kMaxDepth ? "   <- paper's bound" : "");
   }
-  ctrt::AccessTracer::Instance().set_stack_depth(ctrt::CallStack::kMaxDepth);
+  ctrt::AccessTracer::SetDefaultStackDepth(ctrt::CallStack::kMaxDepth);
   return 0;
 }

@@ -2,13 +2,18 @@
 // mini-YARN. First runs the standard single-crash pipeline, then chains a
 // second injection onto each run and reports which failures only appear
 // under two crashes.
+#include <chrono>
+
 #include "bench/bench_util.h"
 #include "src/analysis/log_analysis.h"
+#include "src/core/campaign.h"
 #include "src/core/executor.h"
 #include "src/core/multi_crash.h"
 
 int main(int argc, char** argv) {
-  int max_pairs = argc > 1 ? std::atoi(argv[1]) : 60;
+  ctbench::BenchFlags flags = ctbench::ParseFlags(argc, argv);
+  int max_pairs =
+      flags.positional.empty() ? 60 : std::atoi(flags.positional.front().c_str());
   ctbench::PrintHeader("Extension — multi-crash (pairwise) injection on mini-YARN");
 
   ctyarn::YarnSystem yarn;
@@ -18,8 +23,11 @@ int main(int argc, char** argv) {
   ctanalysis::LogAnalysis log_analysis(&yarn.model(), {"master", "node1", "node2", "node3"});
   ctlog::OnlineFilter filter = log_analysis.MakeOnlineFilter(single.log_result);
   ctcore::MultiCrashTester tester(&yarn, &single.crash_points, filter, single.profile.baseline);
+  auto seq_start = std::chrono::steady_clock::now();
   ctcore::MultiCrashReport report =
       tester.TestPairs(single.profile, single.injections, max_pairs, 424242);
+  double seq_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - seq_start).count();
 
   std::printf("single-crash: %zu runs, %zu issues\n", single.injections.size(),
               single.bugs.size());
@@ -40,5 +48,23 @@ int main(int argc, char** argv) {
               report.pairs_tested,
               single.test_virtual_hours > 0 ? report.virtual_hours / single.test_virtual_hours
                                             : 0.0);
+
+  // Pair runs are independent, so the quadratic space is also the best place
+  // to spend worker threads; --jobs N times the same campaign in parallel.
+  const int jobs = ctcore::ResolveJobs(flags.jobs);
+  if (jobs > 1) {
+    auto par_start = std::chrono::steady_clock::now();
+    ctcore::MultiCrashReport parallel =
+        tester.TestPairs(single.profile, single.injections, max_pairs, 424242, jobs);
+    double par_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - par_start).count();
+    std::printf("parallel    : jobs=%d, %.3fs wall vs %.3fs sequential (%.2fx), report %s\n",
+                jobs, par_wall, seq_wall, par_wall > 0 ? seq_wall / par_wall : 0.0,
+                parallel.pairs_tested == report.pairs_tested &&
+                        parallel.failing.size() == report.failing.size() &&
+                        parallel.multi_only.size() == report.multi_only.size()
+                    ? "identical"
+                    : "DIVERGED");
+  }
   return 0;
 }

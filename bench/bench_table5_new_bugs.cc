@@ -2,9 +2,35 @@
 // experiment — a full CrashTuner run over all five systems, printing the
 // detected bugs with priority, scenario, status, symptom and meta-info, plus
 // the §4.1.3 timeout issues.
-#include "bench/bench_util.h"
+//
+// With `--speedup [--jobs N] [--json FILE]` the bench also times the Phase-2
+// injection campaign sequentially and at N worker threads. A single campaign
+// is only ~40 simulated runs, so the timing repeats the campaign for enough
+// rounds to get wall-clock numbers above scheduler noise.
+#include <chrono>
 
-int main() {
+#include "bench/bench_util.h"
+#include "src/analysis/log_analysis.h"
+#include "src/core/campaign.h"
+#include "src/core/executor.h"
+#include "src/core/trigger.h"
+
+namespace {
+
+double TimeCampaignRounds(ctcore::FaultInjectionTester& tester,
+                          const ctcore::ProfileResult& profile, int rounds, int jobs) {
+  auto start = std::chrono::steady_clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    tester.TestAll(profile, 1000 + static_cast<uint64_t>(round), jobs);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ctbench::BenchFlags flags = ctbench::ParseFlags(argc, argv);
+
   ctbench::PrintHeader("Table 4 — systems under test");
   std::printf("%-14s %-22s %s\n", "System", "Version", "Workload");
   for (const auto& system : ctbench::AllSystems()) {
@@ -17,14 +43,17 @@ int main() {
               "Symptom", "Meta-info");
   ctbench::PrintRule();
 
+  auto systems = ctbench::AllSystems();
+  std::vector<ctcore::SystemReport> reports;
   int total_bug_rows = 0;
   int critical = 0;
   int grouped_points = 0;
   int timeout_issues = 0;
   double total_test_hours = 0;
-  for (const auto& system : ctbench::AllSystems()) {
+  for (const auto& system : systems) {
     ctcore::CrashTunerDriver driver;
-    ctcore::SystemReport report = driver.Run(*system);
+    reports.push_back(driver.Run(*system));
+    const ctcore::SystemReport& report = reports.back();
     total_test_hours += report.test_virtual_hours;
     timeout_issues += static_cast<int>(report.timeout_issues.size());
     for (const auto& bug : report.bugs) {
@@ -51,5 +80,88 @@ int main() {
   std::printf("total testing time: %.2f virtual hours (paper: 17.39 h max per system on a real "
               "3-node cluster)\n",
               total_test_hours);
+
+  if (!flags.speedup) {
+    return 0;
+  }
+
+  // Without an explicit --jobs the comparison runs against the hardware.
+  const int jobs = flags.jobs > 1 ? flags.jobs : ctcore::ResolveJobs(0);
+  const int rounds = 10;
+  ctbench::PrintHeader("Parallel campaign — injection runs fanned across worker threads");
+  std::printf("jobs=%d, %d campaign rounds per system, %d hardware thread(s)\n", jobs, rounds,
+              ctcore::ResolveJobs(0));
+  std::printf("%-14s %10s %12s %12s %9s\n", "System", "runs/round", "seq wall(s)", "par wall(s)",
+              "speedup");
+  ctbench::PrintRule();
+
+  struct SpeedupRow {
+    std::string system;
+    int runs_per_round = 0;
+    double sequential_s = 0;
+    double parallel_s = 0;
+  };
+  std::vector<SpeedupRow> speedups;
+  double total_seq = 0;
+  double total_par = 0;
+  for (size_t i = 0; i < systems.size(); ++i) {
+    const ctcore::SystemUnderTest& system = *systems[i];
+    const ctcore::SystemReport& report = reports[i];
+
+    // Rebuild the Phase-2 tester from the report: a probe run supplies the
+    // cluster's configured hosts, the log result the online filter.
+    auto probe = system.NewRun(system.default_workload_size(), /*seed=*/1);
+    ctcore::Executor::Execute(*probe, /*baseline=*/nullptr);
+    ctanalysis::LogAnalysis log_analysis(&system.model(), probe->cluster().config_hosts());
+    ctlog::OnlineFilter filter = log_analysis.MakeOnlineFilter(report.log_result);
+    probe.reset();
+    ctcore::FaultInjectionTester tester(&system, &report.crash_points, filter,
+                                        report.profile.baseline,
+                                        report.profile.normal_duration_ms);
+
+    SpeedupRow row;
+    row.system = system.name();
+    row.runs_per_round = static_cast<int>(report.injections.size());
+    row.sequential_s = TimeCampaignRounds(tester, report.profile, rounds, /*jobs=*/1);
+    row.parallel_s = TimeCampaignRounds(tester, report.profile, rounds, jobs);
+    std::printf("%-14s %10d %12.3f %12.3f %8.2fx\n", row.system.c_str(), row.runs_per_round,
+                row.sequential_s, row.parallel_s,
+                row.parallel_s > 0 ? row.sequential_s / row.parallel_s : 0.0);
+    total_seq += row.sequential_s;
+    total_par += row.parallel_s;
+    speedups.push_back(row);
+  }
+  ctbench::PrintRule();
+  const double total_speedup = total_par > 0 ? total_seq / total_par : 0.0;
+  std::printf("%-14s %10s %12.3f %12.3f %8.2fx\n", "total", "", total_seq, total_par,
+              total_speedup);
+  std::printf("(runs are independent discrete-event simulations; the residual gap to %dx is\n"
+              " per-round worker spawn plus the tail of the longest run in each wave)\n",
+              jobs);
+
+  if (!flags.json_path.empty()) {
+    std::FILE* out = std::fopen(flags.json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", flags.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\"bench\":\"parallel_campaign\",\"jobs\":%d,\"rounds\":%d,"
+                 "\"hardware_threads\":%d,\"systems\":[",
+                 jobs, rounds, ctcore::ResolveJobs(0));
+    for (size_t i = 0; i < speedups.size(); ++i) {
+      const SpeedupRow& row = speedups[i];
+      std::fprintf(out,
+                   "%s{\"system\":\"%s\",\"runs_per_round\":%d,\"sequential_s\":%.6f,"
+                   "\"parallel_s\":%.6f,\"speedup\":%.3f}",
+                   i == 0 ? "" : ",", row.system.c_str(), row.runs_per_round, row.sequential_s,
+                   row.parallel_s, row.parallel_s > 0 ? row.sequential_s / row.parallel_s : 0.0);
+    }
+    std::fprintf(out,
+                 "],\"total\":{\"sequential_s\":%.6f,\"parallel_s\":%.6f,\"speedup\":%.3f}}\n",
+                 total_seq, total_par, total_speedup);
+    std::fclose(out);
+    std::printf("wrote %s\n", flags.json_path.c_str());
+  }
   return 0;
 }

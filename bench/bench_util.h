@@ -5,6 +5,7 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +40,34 @@ inline void PrintHeader(const std::string& title) {
 
 inline void PrintRule() {
   std::printf("----------------------------------------------------------------\n");
+}
+
+// Flags shared by the bench binaries: `--jobs N` (campaign worker threads,
+// 0 = hardware concurrency), `--speedup` (time the campaign sequential vs
+// parallel), `--json FILE` (machine-readable results for CI). Anything else
+// stays positional for the bench's own arguments.
+struct BenchFlags {
+  int jobs = 1;
+  bool speedup = false;
+  std::string json_path;
+  std::vector<std::string> positional;
+};
+
+inline BenchFlags ParseFlags(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      flags.jobs = std::atoi(argv[++i]);
+    } else if (arg == "--speedup") {
+      flags.speedup = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      flags.json_path = argv[++i];
+    } else {
+      flags.positional.push_back(arg);
+    }
+  }
+  return flags;
 }
 
 }  // namespace ctbench

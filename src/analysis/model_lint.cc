@@ -1,9 +1,11 @@
 #include "src/analysis/model_lint.h"
 
 #include <set>
+#include <utility>
 
 #include "src/analysis/call_graph.h"
 #include "src/analysis/crash_point_analysis.h"
+#include "src/logging/statement.h"
 
 namespace ctanalysis {
 
@@ -12,6 +14,11 @@ namespace {
 std::string PointSubject(const ctmodel::AccessPointDecl& point) {
   return "point#" + std::to_string(point.id) + " (" + point.clazz + "." + point.method + ":" +
          std::to_string(point.line) + ")";
+}
+
+std::string IoPointSubject(const ctmodel::IoPointDecl& point) {
+  return "io#" + std::to_string(point.id) + " (" + point.io_class + "." + point.io_method +
+         " @ " + point.callsite + ")";
 }
 
 }  // namespace
@@ -62,12 +69,26 @@ LintResult LintModel(const ctmodel::ProgramModel& model) {
     }
   }
 
+  const ctlog::StatementRegistry& registry = ctlog::StatementRegistry::Instance();
   for (const auto& binding : model.log_bindings()) {
+    const std::string subject = "log#" + std::to_string(binding.statement_id);
     for (const auto& arg : binding.args) {
       if (!arg.field_id.empty() && model.FindField(arg.field_id) == nullptr) {
-        report("dangling-field", "log#" + std::to_string(binding.statement_id),
+        report("dangling-field", subject,
                "log binding references undeclared field '" + arg.field_id + "'");
       }
+    }
+    // Cross-check the registered statement location against the declared
+    // methods: a bound statement claims to live in a Class.method, and that
+    // method must exist for the claim to mean anything.
+    if (binding.statement_id < 0 || binding.statement_id >= registry.size()) {
+      report("dangling-log-location", subject, "statement id is not registered");
+      continue;
+    }
+    const std::string& location = registry.Get(binding.statement_id).location;
+    if (!location.empty() && model.FindMethod(location) == nullptr) {
+      report("dangling-log-location", subject,
+             "statement location '" + location + "' is not a declared method");
     }
   }
 
@@ -107,6 +128,30 @@ LintResult LintModel(const ctmodel::ProgramModel& model) {
     if (!graph.IsReachable(anchor)) {
       report("unreachable-point", PointSubject(point),
              "anchor method '" + anchor + "' is unreachable from every entry point");
+    }
+  }
+
+  // IO points get the same treatment as access points: their method pair must
+  // be declared, and executable callsites must be declared, reachable methods.
+  std::set<std::pair<std::string, std::string>> declared_io_methods;
+  for (const auto& io_method : model.io_methods()) {
+    declared_io_methods.insert({io_method.clazz, io_method.method});
+  }
+  for (const auto& point : model.io_points()) {
+    if (declared_io_methods.count({point.io_class, point.io_method}) == 0) {
+      report("dangling-io-method", IoPointSubject(point),
+             "IO method '" + point.io_class + "." + point.io_method +
+                 "' is not a declared IoMethodDecl");
+    }
+    if (!point.executable) {
+      continue;
+    }
+    if (model.FindMethod(point.callsite) == nullptr) {
+      report("dangling-io-callsite", IoPointSubject(point),
+             "callsite '" + point.callsite + "' is not a declared method");
+    } else if (!graph.IsReachable(point.callsite)) {
+      report("unreachable-io-point", IoPointSubject(point),
+             "callsite '" + point.callsite + "' is unreachable from every entry point");
     }
   }
 

@@ -20,6 +20,14 @@
 //                        edges must resolve to at least one dispatch target)
 //   unreachable-point    executable access point whose anchor method the call
 //                        graph cannot reach from any entry point
+//   dangling-log-location log binding whose statement id is unregistered, or
+//                        whose registered location names no declared method
+//   dangling-io-method   IO point naming an (io_class, io_method) pair the
+//                        model never declared as an IoMethodDecl
+//   dangling-io-callsite executable IO point whose callsite is no declared
+//                        method (its frame could never be on a stack)
+//   unreachable-io-point executable IO point whose callsite the call graph
+//                        cannot reach from any entry point
 //
 // `tools/ctlint` runs this over all five shipped models in CI.
 #ifndef SRC_ANALYSIS_MODEL_LINT_H_

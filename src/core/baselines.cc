@@ -2,24 +2,32 @@
 
 #include <map>
 
+#include "src/common/check.h"
 #include "src/common/rng.h"
 #include "src/common/strings.h"
+#include "src/core/campaign.h"
 #include "src/sim/exception.h"
 
 namespace ctcore {
 
 namespace {
 
-// Fault-free calibration run: oracle baseline + normal runtime.
+// Fault-free calibration run: oracle baseline, normal runtime, and the node
+// set random trials pick their victims from.
 struct Calibration {
   OracleBaseline baseline;
   ctsim::Time normal_duration_ms = 0;
+  std::vector<std::string> eligible_nodes;  // non-workload-driver nodes
 };
 
 Calibration Calibrate(const SystemUnderTest& system, uint64_t seed) {
-  ctrt::AccessTracer::Instance().Reset(ctrt::TraceMode::kOff);
   Calibration calibration;
   auto run = system.NewRun(system.default_workload_size(), seed);
+  for (ctsim::Node* node : run->cluster().nodes()) {
+    if (!node->workload_driver()) {
+      calibration.eligible_nodes.push_back(node->id());
+    }
+  }
   RunOutcome outcome = Executor::Execute(*run, /*baseline=*/nullptr);
   calibration.normal_duration_ms = outcome.virtual_duration_ms;
   Executor::AccumulateBaseline(run->cluster().logs(), &calibration.baseline);
@@ -81,37 +89,58 @@ std::vector<DetectedBug> TriageBaselineBugs(const SystemUnderTest& system,
   return bugs;
 }
 
-BaselineReport RandomCrashInjector::Run(const SystemUnderTest& system, int trials,
-                                        uint64_t seed) const {
+BaselineReport RandomCrashInjector::Run(const SystemUnderTest& system, int trials, uint64_t seed,
+                                        int jobs) const {
   BaselineReport report;
   report.system = system.name();
   report.approach = "random";
   report.trials = trials;
 
   Calibration calibration = Calibrate(system, seed);
-  ctcommon::Rng rng(seed ^ 0x5eed);
 
-  uint64_t total_virtual_ms = calibration.normal_duration_ms;
-  std::vector<BaselineTrial> failing;
+  // Pre-draw every trial's randomness in trial order from the single stream
+  // the sequential loop used, so the trials can run on any worker thread
+  // without perturbing (or racing on) the generator.
+  struct Plan {
+    ctsim::Time crash_time_ms = 0;
+    uint64_t target_index = 0;
+  };
+  ctcommon::Rng rng(seed ^ 0x5eed);
+  std::vector<Plan> plans;
+  plans.reserve(static_cast<size_t>(std::max(trials, 0)));
   for (int t = 0; t < trials; ++t) {
-    ctrt::AccessTracer::Instance().Reset(ctrt::TraceMode::kOff);
+    Plan plan;
+    plan.crash_time_ms = rng.Uniform(0, calibration.normal_duration_ms);
+    plan.target_index = rng.Index(calibration.eligible_nodes.size());
+    plans.push_back(plan);
+  }
+
+  CampaignEngine engine(jobs);
+  std::vector<BaselineTrial> results = engine.Map(trials, [&](int t) {
     auto run = system.NewRun(system.default_workload_size(), seed + 7919ull * (t + 1));
     ctsim::Cluster& cluster = run->cluster();
 
     BaselineTrial trial;
-    trial.crash_time_ms = rng.Uniform(0, calibration.normal_duration_ms);
+    trial.crash_time_ms = plans[static_cast<size_t>(t)].crash_time_ms;
     std::vector<std::string> ids;
     for (ctsim::Node* node : cluster.nodes()) {
       if (!node->workload_driver()) {
         ids.push_back(node->id());
       }
     }
-    trial.target_node = ids[rng.Index(ids.size())];
+    CT_CHECK(ids.size() == calibration.eligible_nodes.size());
+    trial.target_node = ids[plans[static_cast<size_t>(t)].target_index];
     trial.injected = true;
     cluster.loop().ScheduleAt(trial.crash_time_ms,
                               [&cluster, node = trial.target_node] { cluster.Crash(node); });
 
     trial.outcome = Executor::Execute(*run, &calibration.baseline);
+    return trial;
+  });
+
+  uint64_t total_virtual_ms = calibration.normal_duration_ms;
+  std::vector<BaselineTrial> failing;
+  for (const BaselineTrial& trial : results) {
     total_virtual_ms += trial.outcome.virtual_duration_ms;
     if (trial.outcome.IsBug()) {
       failing.push_back(trial);
@@ -123,7 +152,8 @@ BaselineReport RandomCrashInjector::Run(const SystemUnderTest& system, int trial
   return report;
 }
 
-BaselineReport IoFaultInjector::Run(const SystemUnderTest& system, uint64_t seed) const {
+BaselineReport IoFaultInjector::Run(const SystemUnderTest& system, uint64_t seed,
+                                    int jobs) const {
   BaselineReport report;
   report.system = system.name();
   report.approach = "io";
@@ -142,38 +172,55 @@ BaselineReport IoFaultInjector::Run(const SystemUnderTest& system, uint64_t seed
   ProfileResult profile = profiler.Profile(system, /*access_points=*/{}, io_ids, seed);
   report.dynamic_io_points = static_cast<int>(profile.dynamic_io_points.size());
 
-  uint64_t total_virtual_ms = 0;
-  std::vector<BaselineTrial> failing;
-  ctrt::AccessTracer& tracer = ctrt::AccessTracer::Instance();
-  uint64_t trial_index = 0;
+  // The trial list — every dynamic IO point, before and after — is
+  // deterministic, so enumerate it up front and fan the runs out.
+  struct IoTask {
+    ctrt::DynamicPoint point;
+    bool before = true;
+  };
+  std::vector<IoTask> tasks;
   for (const auto& point : profile.dynamic_io_points) {
     for (bool before : {true, false}) {
-      ++report.trials;
-      auto run = system.NewRun(system.default_workload_size(), seed + 104729ull * ++trial_index);
-      ctsim::Cluster& cluster = run->cluster();
+      tasks.push_back({point, before});
+    }
+  }
+  report.trials = static_cast<int>(tasks.size());
 
-      BaselineTrial trial;
-      trial.io_point = point;
-      trial.io_before = before;
-      tracer.Reset(ctrt::TraceMode::kTrigger);
-      tracer.ArmIoTrigger(point, before, [&](const ctrt::AccessEvent&) {
-        // The OpenStack-style baseline kills the node performing the IO.
-        std::string target = cluster.current_node();
-        if (target.empty() || !cluster.IsAlive(target)) {
-          return;
-        }
-        trial.injected = true;
-        trial.target_node = target;
-        cluster.Crash(target);
-        throw ctsim::NodeCrashedSignal{};
+  CampaignEngine engine(jobs);
+  std::vector<BaselineTrial> results =
+      engine.Map(static_cast<int>(tasks.size()), [&](int i) {
+        const IoTask& task = tasks[static_cast<size_t>(i)];
+        auto run = system.NewRun(system.default_workload_size(),
+                                 seed + 104729ull * static_cast<uint64_t>(i + 1));
+        ctsim::Cluster& cluster = run->cluster();
+
+        BaselineTrial trial;
+        trial.io_point = task.point;
+        trial.io_before = task.before;
+        ctrt::AccessTracer& tracer = run->context().tracer();
+        tracer.Reset(ctrt::TraceMode::kTrigger);
+        tracer.ArmIoTrigger(task.point, task.before, [&](const ctrt::AccessEvent&) {
+          // The OpenStack-style baseline kills the node performing the IO.
+          std::string target = cluster.current_node();
+          if (target.empty() || !cluster.IsAlive(target)) {
+            return;
+          }
+          trial.injected = true;
+          trial.target_node = target;
+          cluster.Crash(target);
+          throw ctsim::NodeCrashedSignal{};
+        });
+
+        trial.outcome = Executor::Execute(*run, &profile.baseline);
+        return trial;
       });
 
-      trial.outcome = Executor::Execute(*run, &profile.baseline);
-      total_virtual_ms += trial.outcome.virtual_duration_ms;
-      tracer.Reset(ctrt::TraceMode::kOff);
-      if (trial.outcome.IsBug()) {
-        failing.push_back(trial);
-      }
+  uint64_t total_virtual_ms = 0;
+  std::vector<BaselineTrial> failing;
+  for (const BaselineTrial& trial : results) {
+    total_virtual_ms += trial.outcome.virtual_duration_ms;
+    if (trial.outcome.IsBug()) {
+      failing.push_back(trial);
     }
   }
   report.virtual_hours = static_cast<double>(total_virtual_ms) / 3'600'000.0;

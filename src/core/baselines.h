@@ -46,14 +46,18 @@ struct BaselineReport {
   int dynamic_io_points = 0;
 };
 
+// Both injectors fan their trials across `jobs` worker threads (campaign.h).
+// Trial seeds — and for the random baseline, the pre-drawn (crash time,
+// target) plans — derive from the trial index, and aggregation walks results
+// in trial order, so reports are identical at any thread count.
 class RandomCrashInjector {
  public:
-  BaselineReport Run(const SystemUnderTest& system, int trials, uint64_t seed) const;
+  BaselineReport Run(const SystemUnderTest& system, int trials, uint64_t seed, int jobs = 1) const;
 };
 
 class IoFaultInjector {
  public:
-  BaselineReport Run(const SystemUnderTest& system, uint64_t seed) const;
+  BaselineReport Run(const SystemUnderTest& system, uint64_t seed, int jobs = 1) const;
 };
 
 // Shared triage: converts failing baseline trials into deduplicated bugs

@@ -1,0 +1,17 @@
+#include "src/core/campaign.h"
+
+#include "src/logging/statement.h"
+
+namespace ctcore {
+
+int ResolveJobs(int jobs) {
+  if (jobs >= 1) {
+    return jobs;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void CampaignEngine::PrepareSharedState() { ctlog::StatementRegistry::Instance().Freeze(); }
+
+}  // namespace ctcore

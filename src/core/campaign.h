@@ -1,0 +1,100 @@
+// Parallel injection-campaign engine.
+//
+// Phase 2 runs one independent deterministic simulation per dynamic crash
+// point (and the baselines/multi-crash extensions run one per trial/pair), so
+// once runtime state is per-run (run_context.h) the campaign is embarrassingly
+// parallel. CampaignEngine::Map fans indexed tasks across a fixed worker pool
+// and collects results *by index*, so the output is byte-identical at any
+// thread count: every task derives its seed from its index, and aggregation
+// happens in index order after the pool drains.
+#ifndef SRC_CORE_CAMPAIGN_H_
+#define SRC_CORE_CAMPAIGN_H_
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ctcore {
+
+// Resolves a jobs knob: values >= 1 are taken as-is; 0 and negatives mean
+// "one worker per hardware thread".
+int ResolveJobs(int jobs);
+
+class CampaignEngine {
+ public:
+  explicit CampaignEngine(int jobs) : jobs_(ResolveJobs(jobs)) {}
+
+  int jobs() const { return jobs_; }
+
+  // Runs fn(0) .. fn(n-1), fanning across up to jobs() worker threads, and
+  // returns the results indexed by task — independent of which worker ran
+  // what. fn must be safe to call concurrently from several threads; its
+  // result type must be default-constructible. The first exception a task
+  // throws is rethrown here after the pool drains.
+  template <typename Fn>
+  auto Map(int n, Fn&& fn) -> std::vector<std::invoke_result_t<Fn&, int>> {
+    using Result = std::invoke_result_t<Fn&, int>;
+    std::vector<Result> results(static_cast<size_t>(std::max(n, 0)));
+    if (n <= 0) {
+      return results;
+    }
+    const int workers = std::min(jobs_, n);
+    if (workers <= 1) {
+      for (int i = 0; i < n; ++i) {
+        results[static_cast<size_t>(i)] = fn(i);
+      }
+      return results;
+    }
+
+    PrepareSharedState();
+    std::atomic<int> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+    auto worker = [&] {
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n || failed.load(std::memory_order_relaxed)) {
+          return;
+        }
+        try {
+          results[static_cast<size_t>(i)] = fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (error == nullptr) {
+            error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& thread : pool) {
+      thread.join();
+    }
+    if (error != nullptr) {
+      std::rethrow_exception(error);
+    }
+    return results;
+  }
+
+ private:
+  // Quiesces process-wide shared state before threads exist: freezes the
+  // statement registry so in-run lookups of already-known statements are
+  // lock-free.
+  static void PrepareSharedState();
+
+  int jobs_;
+};
+
+}  // namespace ctcore
+
+#endif  // SRC_CORE_CAMPAIGN_H_

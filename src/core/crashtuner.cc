@@ -110,7 +110,7 @@ SystemReport CrashTunerDriver::Run(const SystemUnderTest& system,
   auto wall_start = std::chrono::steady_clock::now();
 
   // --- Phase 1a: collect logs with an uninstrumented run. -------------------
-  ctrt::AccessTracer::Instance().Reset(ctrt::TraceMode::kOff);
+  // The run's own tracer starts in kOff; no global reset needed.
   auto log_run = system.NewRun(system.default_workload_size(), options.seed);
   Executor::Execute(*log_run, /*baseline=*/nullptr);
   std::vector<ctlog::Instance> run_logs = log_run->cluster().logs().instances();
@@ -191,7 +191,10 @@ SystemReport CrashTunerDriver::Run(const SystemUnderTest& system,
   ctlog::OnlineFilter filter = log_analysis.MakeOnlineFilter(report.log_result);
   FaultInjectionTester tester(&system, &report.crash_points, filter, report.profile.baseline,
                               report.profile.normal_duration_ms, options.pre_read_wait_ms);
-  report.injections = tester.TestAll(report.profile, options.seed + 1000);
+  auto test_wall_start = std::chrono::steady_clock::now();
+  report.injections = tester.TestAll(report.profile, options.seed + 1000, options.jobs);
+  report.test_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - test_wall_start).count();
   report.test_virtual_hours = static_cast<double>(tester.total_virtual_ms()) / 3'600'000.0;
 
   // --- Reporting. ------------------------------------------------------------

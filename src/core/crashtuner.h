@@ -55,9 +55,12 @@ struct SystemReport {
   int pruned_unused = 0;
   int pruned_sanity_checked = 0;
 
-  // Table 11 columns: real wall time for the analyses, virtual cluster time
-  // for profiling/testing (the simulator equivalent of testbed hours).
+  // Table 11 columns: real wall time for the analyses and for the Phase-2
+  // injection campaign (which parallelizes across DriverOptions::jobs),
+  // virtual cluster time for profiling/testing (the simulator equivalent of
+  // testbed hours).
   double analysis_wall_seconds = 0;
+  double test_wall_seconds = 0;
   double profile_virtual_seconds = 0;
   double test_virtual_hours = 0;
 
@@ -88,6 +91,10 @@ enum class ContextMode { kProfiled, kStaticSeeded, kStaticOnly };
 
 struct DriverOptions {
   uint64_t seed = 2019;
+  // Worker threads for the Phase-2 injection campaign. 1 runs sequentially;
+  // 0 means one per hardware thread. Any value yields the same report
+  // byte-for-byte (see campaign.h).
+  int jobs = 1;
   ctanalysis::CrashPointOptions crash_point_options;
   ContextMode context_mode = ContextMode::kProfiled;
   // Call-string bound for the static modes (the tracer's stack depth).

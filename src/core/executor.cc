@@ -24,6 +24,9 @@ std::string RunOutcome::PrimarySymptom() const {
 }
 
 RunOutcome Executor::Execute(WorkloadRun& run, const OracleBaseline* baseline) {
+  // Route every hook the run fires to the run's own tracer: this is what lets
+  // worker threads execute injection runs concurrently without sharing state.
+  ctrt::ScopedRunContext bind_context(run.context());
   RunOutcome outcome;
   ctsim::Cluster& cluster = run.cluster();
   ctsim::EventLoop& loop = cluster.loop();

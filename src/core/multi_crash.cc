@@ -4,6 +4,7 @@
 #include <memory>
 #include <set>
 
+#include "src/core/campaign.h"
 #include "src/sim/exception.h"
 
 namespace ctcore {
@@ -66,7 +67,7 @@ PairInjectionResult MultiCrashTester::TestPair(const ctrt::DynamicPoint& first,
     }
   });
 
-  ctrt::AccessTracer& tracer = ctrt::AccessTracer::Instance();
+  ctrt::AccessTracer& tracer = run->context().tracer();
   tracer.Reset(ctrt::TraceMode::kTrigger);
   tracer.ArmAccessTrigger(first, [&, second, second_kind](const ctrt::AccessEvent& event) {
     // Chain the second injection before delivering the first fault: if the
@@ -80,13 +81,13 @@ PairInjectionResult MultiCrashTester::TestPair(const ctrt::DynamicPoint& first,
   });
 
   result.outcome = Executor::Execute(*run, &baseline_);
-  tracer.Reset(ctrt::TraceMode::kOff);
+  // The armed/re-armed trigger dies with the run's context.
   return result;
 }
 
 MultiCrashReport MultiCrashTester::TestPairs(const ProfileResult& profile,
                                              const std::vector<InjectionResult>& single_results,
-                                             int max_pairs, uint64_t seed) {
+                                             int max_pairs, uint64_t seed, int jobs) {
   MultiCrashReport report;
   // Failure signatures already reachable with one crash: a pair only counts
   // as "multi-only" if its signature is new.
@@ -100,28 +101,50 @@ MultiCrashReport MultiCrashTester::TestPairs(const ProfileResult& profile,
     }
   }
 
+  // Enumerate the (deterministically ordered, capped) pair list up front so
+  // the runs can fan out across worker threads; each pair's seed derives from
+  // its position in the walk, exactly as the sequential loop assigned them.
   std::vector<ctrt::DynamicPoint> points(profile.dynamic_access_points.begin(),
                                          profile.dynamic_access_points.end());
+  struct PairTask {
+    ctrt::DynamicPoint first;
+    ctrt::DynamicPoint second;
+    uint64_t trial;
+  };
+  std::vector<PairTask> tasks;
+  const size_t cap = max_pairs > 0 ? static_cast<size_t>(max_pairs) : 0;
   uint64_t trial = 0;
-  for (size_t i = 0; i < points.size() && report.pairs_tested < max_pairs; ++i) {
-    for (size_t j = 0; j < points.size() && report.pairs_tested < max_pairs; ++j) {
+  for (size_t i = 0; i < points.size() && tasks.size() < cap; ++i) {
+    for (size_t j = 0; j < points.size() && tasks.size() < cap; ++j) {
       if (i == j) {
         continue;
       }
-      PairInjectionResult result = TestPair(points[i], points[j], seed + 31ull * ++trial);
-      ++report.pairs_tested;
-      report.virtual_hours +=
-          static_cast<double>(result.outcome.virtual_duration_ms) / 3'600'000.0;
-      if (!result.outcome.IsBug()) {
-        continue;
-      }
-      report.failing.push_back(result);
-      std::string exception = result.outcome.uncommon_exceptions.empty()
-                                  ? ""
-                                  : result.outcome.uncommon_exceptions.front();
-      if (single_signatures.count(result.outcome.PrimarySymptom() + "|" + exception) == 0) {
-        report.multi_only.push_back(result);
-      }
+      tasks.push_back({points[i], points[j], ++trial});
+    }
+  }
+
+  CampaignEngine engine(jobs);
+  std::vector<PairInjectionResult> results =
+      engine.Map(static_cast<int>(tasks.size()), [&](int i) {
+        const PairTask& task = tasks[static_cast<size_t>(i)];
+        return TestPair(task.first, task.second, seed + 31ull * task.trial);
+      });
+
+  // Aggregate in pair order: double summation and report rows come out the
+  // same at any thread count.
+  for (const PairInjectionResult& result : results) {
+    ++report.pairs_tested;
+    report.virtual_hours +=
+        static_cast<double>(result.outcome.virtual_duration_ms) / 3'600'000.0;
+    if (!result.outcome.IsBug()) {
+      continue;
+    }
+    report.failing.push_back(result);
+    std::string exception = result.outcome.uncommon_exceptions.empty()
+                                ? ""
+                                : result.outcome.uncommon_exceptions.front();
+    if (single_signatures.count(result.outcome.PrimarySymptom() + "|" + exception) == 0) {
+      report.multi_only.push_back(result);
     }
   }
   return report;

@@ -59,16 +59,18 @@ class MultiCrashTester {
         pre_read_wait_ms_(pre_read_wait_ms) {}
 
   // Tests one ordered pair: the second point is armed after the first fault
-  // lands.
+  // lands. Safe to call concurrently: each call owns its run and tracer.
   PairInjectionResult TestPair(const ctrt::DynamicPoint& first, const ctrt::DynamicPoint& second,
                                uint64_t seed);
 
   // Walks ordered pairs of dynamic crash points (deterministic order) up to
-  // `max_pairs` runs, comparing failing pairs against the single-injection
+  // `max_pairs` runs fanned across `jobs` worker threads (campaign.h; seeds
+  // and aggregation are pair-index ordered, so the report is identical at any
+  // thread count), comparing failing pairs against the single-injection
   // outcomes from `single_results`.
   MultiCrashReport TestPairs(const ProfileResult& profile,
                              const std::vector<InjectionResult>& single_results, int max_pairs,
-                             uint64_t seed);
+                             uint64_t seed, int jobs = 1);
 
  private:
   ctanalysis::CrashPointKind KindOf(int point_id, std::string* location) const;

@@ -6,17 +6,20 @@ ProfileResult Profiler::Profile(const SystemUnderTest& system, const std::set<in
                                 const std::set<int>& io_points, uint64_t seed,
                                 int max_iterations) const {
   ProfileResult result;
-  ctrt::AccessTracer& tracer = ctrt::AccessTracer::Instance();
 
   if (max_iterations < 1) {
     max_iterations = 1;
   }
   int size = system.default_workload_size();
   for (int iteration = 0; iteration < max_iterations; ++iteration) {
-    tracer.Reset(ctrt::TraceMode::kProfile);
-    tracer.SetProfiledPoints(access_points, io_points);
-
-    auto run = system.NewRun(size, seed + static_cast<uint64_t>(iteration));
+    // Prepare the run's own tracer before construction so hooks fired while
+    // the deployment is built are already profiled.
+    auto run = system.NewRun(size, seed + static_cast<uint64_t>(iteration),
+                             [&](ctrt::RunContext& context) {
+                               context.tracer().Reset(ctrt::TraceMode::kProfile);
+                               context.tracer().SetProfiledPoints(access_points, io_points);
+                             });
+    ctrt::AccessTracer& tracer = run->context().tracer();
     RunOutcome outcome = Executor::Execute(*run, /*baseline=*/nullptr);
     Executor::AccumulateBaseline(run->cluster().logs(), &result.baseline);
     ++result.iterations;
@@ -41,7 +44,6 @@ ProfileResult Profiler::Profile(const SystemUnderTest& system, const std::set<in
     size *= 2;
   }
 
-  tracer.Reset(ctrt::TraceMode::kOff);
   return result;
 }
 

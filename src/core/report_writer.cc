@@ -49,7 +49,7 @@ std::string ReportToMarkdown(const SystemReport& report) {
       << " sanity-checked). Dynamic crash points: " << report.dynamic_crash_points << ".\n\n";
   out << "Times: analysis " << report.analysis_wall_seconds << " s wall, profiling "
       << report.profile_virtual_seconds << " virtual s, testing " << report.test_virtual_hours
-      << " virtual h.\n\n";
+      << " virtual h (" << report.test_wall_seconds << " s wall).\n\n";
   out << "## Detected bugs\n\n";
   if (report.bugs.empty()) {
     out << "None.\n";
@@ -89,6 +89,7 @@ std::string ReportToJson(const SystemReport& report) {
       << ",\"unused\":" << report.pruned_unused
       << ",\"sanity_checked\":" << report.pruned_sanity_checked << "},";
   out << "\"times\":{\"analysis_wall_s\":" << report.analysis_wall_seconds
+      << ",\"test_wall_s\":" << report.test_wall_seconds
       << ",\"profile_virtual_s\":" << report.profile_virtual_seconds
       << ",\"test_virtual_h\":" << report.test_virtual_hours << "},";
   out << "\"bugs\":[";

@@ -3,20 +3,29 @@
 #ifndef SRC_CORE_SYSTEM_UNDER_TEST_H_
 #define SRC_CORE_SYSTEM_UNDER_TEST_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/model/program_model.h"
+#include "src/runtime/run_context.h"
 #include "src/sim/cluster.h"
 
 namespace ctcore {
 
 // One deployment of the system plus one sized workload, ready to run. The
-// run owns its cluster; all faults and oracles act through this handle.
+// run owns its cluster and its runtime context (tracer); all faults and
+// oracles act through this handle, and nothing about the run survives it —
+// an armed trigger dies with the run instead of leaking into the next one.
 class WorkloadRun {
  public:
   virtual ~WorkloadRun() = default;
+
+  // The run's private runtime state. Executor::Execute binds it to the
+  // executing thread for the duration of the run; testers arm triggers on
+  // context().tracer() before executing.
+  ctrt::RunContext& context() { return *context_; }
 
   virtual ctsim::Cluster& cluster() = 0;
 
@@ -30,6 +39,10 @@ class WorkloadRun {
   // Virtual time a fault-free run of this size is expected to take; the
   // executor uses it to size oracle deadlines.
   virtual ctsim::Time ExpectedDurationMs() const = 0;
+
+ private:
+  friend class SystemUnderTest;
+  std::unique_ptr<ctrt::RunContext> context_;
 };
 
 // Post-hoc triage entry: maps an oracle-detected failure back to the upstream
@@ -56,14 +69,27 @@ class SystemUnderTest {
   // The static program model (types, fields, access points, log bindings).
   virtual const ctmodel::ProgramModel& model() const = 0;
 
-  // Builds a fresh deployment + workload. `workload_size` scales the job
-  // (the profiler doubles it until the dynamic-point set stabilizes).
-  virtual std::unique_ptr<WorkloadRun> NewRun(int workload_size, uint64_t seed) const = 0;
+  // Optional hook run against the fresh RunContext before the deployment is
+  // built — e.g. the profiler switches the tracer to kProfile here so hooks
+  // fired during construction are already recorded.
+  using ContextPrepare = std::function<void(ctrt::RunContext&)>;
+
+  // Builds a fresh deployment + workload bound to its own RunContext.
+  // `workload_size` scales the job (the profiler doubles it until the
+  // dynamic-point set stabilizes). The context is bound to the calling thread
+  // while the deployment is constructed, then owned by the returned run.
+  std::unique_ptr<WorkloadRun> NewRun(int workload_size, uint64_t seed,
+                                      const ContextPrepare& prepare = nullptr) const;
 
   virtual int default_workload_size() const { return 1; }
 
   // Triage table for report generation.
   virtual std::vector<KnownBug> known_bugs() const { return {}; }
+
+ protected:
+  // System-specific deployment factory; called by NewRun with the run's
+  // context already bound to the calling thread.
+  virtual std::unique_ptr<WorkloadRun> MakeRun(int workload_size, uint64_t seed) const = 0;
 };
 
 }  // namespace ctcore

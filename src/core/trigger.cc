@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 
+#include "src/core/campaign.h"
 #include "src/sim/exception.h"
 
 namespace ctcore {
@@ -36,8 +37,10 @@ InjectionResult FaultInjectionTester::TestPoint(const ctrt::DynamicPoint& point,
   });
 
   // Control-center callback (Fig. 7): resolve the accessed value to a node
-  // and inject the fault.
-  ctrt::AccessTracer& tracer = ctrt::AccessTracer::Instance();
+  // and inject the fault. Armed on the run's own tracer, so concurrent
+  // TestPoint calls cannot clobber each other and the armed trigger cannot
+  // outlive the run.
+  ctrt::AccessTracer& tracer = run->context().tracer();
   tracer.Reset(ctrt::TraceMode::kTrigger);
   tracer.ArmAccessTrigger(point, [&](const ctrt::AccessEvent& event) {
     result.point_hit = true;
@@ -71,29 +74,35 @@ InjectionResult FaultInjectionTester::TestPoint(const ctrt::DynamicPoint& point,
 
   result.outcome = Executor::Execute(*run, &baseline_);
   result.point_hit = result.point_hit || tracer.trigger_fired();
-  total_virtual_ms_ += result.outcome.virtual_duration_ms;
-  tracer.Reset(ctrt::TraceMode::kOff);
+  total_virtual_ms_.fetch_add(result.outcome.virtual_duration_ms, std::memory_order_relaxed);
+  // No reset needed: the tracer — armed trigger and all — dies with the run.
   return result;
 }
 
 std::vector<InjectionResult> FaultInjectionTester::TestAll(const ProfileResult& profile,
-                                                           uint64_t seed) {
+                                                           uint64_t seed, int jobs) {
   // Static point id → kind.
   std::map<int, ctanalysis::CrashPointKind> kinds;
   for (const auto& static_point : crash_points_->points) {
     kinds[static_point.access_point_id] = static_point.kind;
   }
-  std::vector<InjectionResult> results;
-  uint64_t trial = 0;
+  struct Task {
+    ctrt::DynamicPoint point;
+    ctanalysis::CrashPointKind kind;
+  };
+  std::vector<Task> tasks;
   for (const auto& point : profile.dynamic_access_points) {
     auto it = kinds.find(point.point_id);
     if (it == kinds.end()) {
       continue;
     }
-    results.push_back(TestPoint(point, it->second, seed + trial));
-    ++trial;
+    tasks.push_back({point, it->second});
   }
-  return results;
+  CampaignEngine engine(jobs);
+  return engine.Map(static_cast<int>(tasks.size()), [&](int i) {
+    const Task& task = tasks[static_cast<size_t>(i)];
+    return TestPoint(task.point, task.kind, seed + static_cast<uint64_t>(i));
+  });
 }
 
 }  // namespace ctcore

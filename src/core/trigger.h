@@ -13,6 +13,7 @@
 #ifndef SRC_CORE_TRIGGER_H_
 #define SRC_CORE_TRIGGER_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -54,15 +55,19 @@ class FaultInjectionTester {
         normal_duration_ms_(normal_duration_ms),
         pre_read_wait_ms_(pre_read_wait_ms) {}
 
-  // Tests one dynamic crash point; `kind` comes from its static point.
+  // Tests one dynamic crash point; `kind` comes from its static point. Safe
+  // to call concurrently: each call owns its run (and the run its tracer).
   InjectionResult TestPoint(const ctrt::DynamicPoint& point, ctanalysis::CrashPointKind kind,
                             uint64_t seed);
 
-  // Tests every dynamic crash point in `profile`, one run each.
-  std::vector<InjectionResult> TestAll(const ProfileResult& profile, uint64_t seed);
+  // Tests every dynamic crash point in `profile`, one run each, fanned across
+  // `jobs` worker threads (see campaign.h). Seeds derive from the injection
+  // index and results come back in index order, so the output is identical at
+  // any thread count.
+  std::vector<InjectionResult> TestAll(const ProfileResult& profile, uint64_t seed, int jobs = 1);
 
   // Total virtual time spent across TestPoint calls (Table 11 test column).
-  ctsim::Time total_virtual_ms() const { return total_virtual_ms_; }
+  ctsim::Time total_virtual_ms() const { return total_virtual_ms_.load(); }
 
  private:
   const SystemUnderTest* system_;
@@ -71,7 +76,9 @@ class FaultInjectionTester {
   OracleBaseline baseline_;
   ctsim::Time normal_duration_ms_;
   ctsim::Time pre_read_wait_ms_;
-  ctsim::Time total_virtual_ms_ = 0;
+  // Atomic: concurrent TestPoint calls accumulate into it. Integer addition
+  // commutes, so the total is thread-count independent.
+  std::atomic<ctsim::Time> total_virtual_ms_{0};
 };
 
 }  // namespace ctcore

@@ -11,7 +11,11 @@
 #define SRC_LOGGING_STATEMENT_H_
 
 #include <cstdint>
+#include <deque>
+#include <map>
+#include <shared_mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace ctlog {
@@ -34,22 +38,43 @@ struct Statement {
 // Process-wide registry of logging statements. Statements describe static
 // program structure, so a singleton mirrors the single program under test per
 // process; per-run state (instances) lives in LogStore instead.
+//
+// The registry is read and written from concurrent injection runs (Logger::
+// AdHoc registers on the fly), so it is split into an immutable frozen table
+// — lock-free to read — and a shared_mutex-guarded overflow for statements
+// first seen after the last Freeze(). Ids are dense and stable: the frozen
+// table holds ids [0, frozen), the overflow continues from there.
 class StatementRegistry {
  public:
   static StatementRegistry& Instance();
 
   // Registers a statement and returns its id. Registering the same
   // (level, tmpl, location) again returns the existing id, making static
-  // initialization idempotent across repeated model builds.
+  // initialization idempotent across repeated model builds. Thread-safe.
   int Register(Level level, const std::string& tmpl, const std::string& location);
 
+  // Thread-safe; the reference stays valid for the registry's lifetime.
   const Statement& Get(int id) const;
   int size() const;
-  const std::vector<Statement>& statements() const { return statements_; }
+  // Snapshot of every registered statement, ordered by id.
+  std::vector<Statement> statements() const;
+
+  // Moves the overflow into the frozen table so subsequent lookups of those
+  // statements are lock-free. NOT thread-safe: callers must be at a quiescent
+  // point (no concurrent Register/Get) — the campaign engine freezes before
+  // fanning runs out across worker threads.
+  void Freeze();
 
  private:
+  using Key = std::tuple<Level, std::string, std::string>;
+
   StatementRegistry() = default;
-  std::vector<Statement> statements_;
+
+  std::vector<Statement> frozen_;  // ids [0, frozen_.size()); immutable between Freeze()s
+  std::map<Key, int> frozen_index_;
+  mutable std::shared_mutex mu_;   // guards overflow_ / overflow_index_
+  std::deque<Statement> overflow_;  // deque: stable references across push_back
+  std::map<Key, int> overflow_index_;
 };
 
 }  // namespace ctlog

@@ -1,0 +1,28 @@
+#include "src/runtime/run_context.h"
+
+namespace ctrt {
+
+namespace {
+
+thread_local RunContext* g_current_context = nullptr;
+
+}  // namespace
+
+RunContext& RunContext::Current() {
+  if (g_current_context != nullptr) {
+    return *g_current_context;
+  }
+  // Per-thread fallback for code running outside any run (tests, benches,
+  // offline analyses). Distinct per thread so unbound threads never share
+  // mutable tracer state.
+  static thread_local RunContext default_context;
+  return default_context;
+}
+
+ScopedRunContext::ScopedRunContext(RunContext& context) : previous_(g_current_context) {
+  g_current_context = &context;
+}
+
+ScopedRunContext::~ScopedRunContext() { g_current_context = previous_; }
+
+}  // namespace ctrt

@@ -1,8 +1,17 @@
 #include "src/runtime/tracer.h"
 
+#include <atomic>
+
 #include "src/common/check.h"
+#include "src/runtime/run_context.h"
 
 namespace ctrt {
+
+namespace {
+
+std::atomic<int> g_default_stack_depth{CallStack::kMaxDepth};
+
+}  // namespace
 
 std::string CallStack::Key() const {
   std::string key;
@@ -15,9 +24,16 @@ std::string CallStack::Key() const {
   return key;
 }
 
-AccessTracer& AccessTracer::Instance() {
-  static AccessTracer* tracer = new AccessTracer();
-  return *tracer;
+AccessTracer::AccessTracer() : stack_depth_(DefaultStackDepth()) {}
+
+AccessTracer& AccessTracer::Instance() { return RunContext::Current().tracer(); }
+
+void AccessTracer::SetDefaultStackDepth(int depth) {
+  g_default_stack_depth.store(depth, std::memory_order_relaxed);
+}
+
+int AccessTracer::DefaultStackDepth() {
+  return g_default_stack_depth.load(std::memory_order_relaxed);
 }
 
 void AccessTracer::Reset(TraceMode mode) {

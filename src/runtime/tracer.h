@@ -12,8 +12,11 @@
 //               shutdown and may abort the current handler by throwing
 //               ctsim::NodeCrashedSignal.
 //
-// The tracer is a process-wide singleton because the hooks are free calls in
-// system code (like the injected RPCs in the paper); each run Reset()s it.
+// The hooks are free calls in system code (like the injected RPCs in the
+// paper), so Instance() routes them to the AccessTracer of the RunContext
+// bound to the calling thread (see run_context.h). Each WorkloadRun owns its
+// own tracer, which is what lets the injection campaign run one simulation per
+// worker thread without the runs stepping on each other's trigger state.
 #ifndef SRC_RUNTIME_TRACER_H_
 #define SRC_RUNTIME_TRACER_H_
 
@@ -66,6 +69,12 @@ enum class TraceMode { kOff, kProfile, kTrigger };
 
 class AccessTracer {
  public:
+  AccessTracer();
+  AccessTracer(const AccessTracer&) = delete;
+  AccessTracer& operator=(const AccessTracer&) = delete;
+
+  // The tracer of the calling thread's current RunContext (a per-thread
+  // default context when no run is bound). Hook macros go through this.
   static AccessTracer& Instance();
 
   // Clears all per-run state and switches mode.
@@ -109,12 +118,16 @@ class AccessTracer {
   void set_stack_depth(int depth) { stack_depth_ = depth; }
   int stack_depth() const { return stack_depth_; }
 
+  // Process-wide default depth newly constructed tracers start from. The depth
+  // ablation sets this before a driver run so every per-run tracer the run
+  // creates inherits the swept bound; callers restore kMaxDepth afterwards.
+  static void SetDefaultStackDepth(int depth);
+  static int DefaultStackDepth();
+
   // Counters.
   uint64_t hook_firings() const { return hook_firings_; }
 
  private:
-  AccessTracer() = default;
-
   void OnAccess(int point_id, ctmodel::AccessKind kind, const std::string& value);
   void OnIo(int point_id, bool before);
 
@@ -132,16 +145,23 @@ class AccessTracer {
   bool trigger_fired_ = false;
   std::optional<AccessEvent> fired_event_;
   uint64_t hook_firings_ = 0;
-  int stack_depth_ = CallStack::kMaxDepth;
+  int stack_depth_;
 };
 
-// RAII frame marker used at method entry in mini-system code.
+// RAII frame marker used at method entry in mini-system code. The tracer is
+// resolved once at construction and cached so push and pop always hit the
+// same tracer even if the thread's context binding changes mid-scope.
 class ScopedFrame {
  public:
-  explicit ScopedFrame(const char* frame) { AccessTracer::Instance().PushFrame(frame); }
-  ~ScopedFrame() { AccessTracer::Instance().PopFrame(); }
+  explicit ScopedFrame(const char* frame) : tracer_(&AccessTracer::Instance()) {
+    tracer_->PushFrame(frame);
+  }
+  ~ScopedFrame() { tracer_->PopFrame(); }
   ScopedFrame(const ScopedFrame&) = delete;
   ScopedFrame& operator=(const ScopedFrame&) = delete;
+
+ private:
+  AccessTracer* tracer_;
 };
 
 }  // namespace ctrt

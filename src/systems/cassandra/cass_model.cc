@@ -90,6 +90,14 @@ CassArtifacts* Build() {
   add_method("Gossiper", "markDead", /*entry=*/true);
   add_method("Keyspace", "apply");
   add_method("HintsService", "write");
+  add_method("StorageService", "handleStateNormal");
+  add_method("Gossiper", "markAlive");
+  // Gossip state application dispatches NORMAL transitions to the storage
+  // service and flips endpoints alive on heartbeat echoes.
+  model.AddCallEdge({"Gossiper.applyStateLocally", "StorageService.handleStateNormal",
+                     ctmodel::CallKind::kStatic});
+  model.AddCallEdge({"Gossiper.applyStateLocally", "Gossiper.markAlive",
+                     ctmodel::CallKind::kStatic});
   model.AddCallEdge({"StorageProxy.performWrite", "Keyspace.apply", ctmodel::CallKind::kStatic});
   model.AddCallEdge({"StorageProxy.performWrite", "HintsService.write",
                      ctmodel::CallKind::kStatic});

@@ -43,7 +43,7 @@ class CassRun : public ctcore::WorkloadRun {
 
 }  // namespace
 
-std::unique_ptr<ctcore::WorkloadRun> CassSystem::NewRun(int workload_size, uint64_t seed) const {
+std::unique_ptr<ctcore::WorkloadRun> CassSystem::MakeRun(int workload_size, uint64_t seed) const {
   return std::make_unique<CassRun>(this, workload_size, seed);
 }
 

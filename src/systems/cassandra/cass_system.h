@@ -19,7 +19,6 @@ class CassSystem : public ctcore::SystemUnderTest {
   std::string version() const override { return "3.11.4"; }
   std::string workload_name() const override { return "Stress"; }
   const ctmodel::ProgramModel& model() const override { return GetCassArtifacts().model; }
-  std::unique_ptr<ctcore::WorkloadRun> NewRun(int workload_size, uint64_t seed) const override;
   int default_workload_size() const override { return 4; }
   std::vector<ctcore::KnownBug> known_bugs() const override {
     return {
@@ -29,6 +28,9 @@ class CassSystem : public ctcore::SystemUnderTest {
   }
 
   const CassConfig& config() const { return config_; }
+
+ protected:
+  std::unique_ptr<ctcore::WorkloadRun> MakeRun(int workload_size, uint64_t seed) const override;
 
  private:
   CassConfig config_;

@@ -120,8 +120,20 @@ HBaseArtifacts* Build() {
   add_method("MetricsRegionServerWrapperImpl", "init", /*entry=*/true);
   add_method("HRegion", "openRegion", /*entry=*/true);
   add_method("HRegion", "doMiniBatchMutate", /*entry=*/true);
+  add_method("ZKWatcher", "createEphemeral", /*entry=*/true);
+  add_method("ServerManager", "expireServer", /*entry=*/true);
   add_method("HRegion", "openRegionRebalance");
+  add_method("AssignmentManager", "assign");
+  add_method("AssignmentManager", "move");
   model.AddCallEdge({"HRegion.openRegion", "HRegion.openRegionRebalance",
+                     ctmodel::CallKind::kStatic});
+  // Assignments run inside the bootstrap and crash procedures; moves come
+  // from the balancer chore.
+  model.AddCallEdge({"HMaster.finishActiveMasterInitialization", "AssignmentManager.assign",
+                     ctmodel::CallKind::kStatic});
+  model.AddCallEdge({"ServerCrashProcedure.execute", "AssignmentManager.assign",
+                     ctmodel::CallKind::kStatic});
+  model.AddCallEdge({"LoadBalancer.balanceCluster", "AssignmentManager.move",
                      ctmodel::CallKind::kStatic});
 
   auto& registry = ctlog::StatementRegistry::Instance();

@@ -49,7 +49,7 @@ class HBaseRun : public ctcore::WorkloadRun {
 
 }  // namespace
 
-std::unique_ptr<ctcore::WorkloadRun> HBaseSystem::NewRun(int workload_size, uint64_t seed) const {
+std::unique_ptr<ctcore::WorkloadRun> HBaseSystem::MakeRun(int workload_size, uint64_t seed) const {
   return std::make_unique<HBaseRun>(this, workload_size, seed);
 }
 

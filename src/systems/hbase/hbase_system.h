@@ -19,11 +19,13 @@ class HBaseSystem : public ctcore::SystemUnderTest {
   std::string version() const override { return "3.0.0-SNAPSHOT"; }
   std::string workload_name() const override { return "PE+curl"; }
   const ctmodel::ProgramModel& model() const override { return GetHBaseArtifacts().model; }
-  std::unique_ptr<ctcore::WorkloadRun> NewRun(int workload_size, uint64_t seed) const override;
   int default_workload_size() const override { return 3; }
   std::vector<ctcore::KnownBug> known_bugs() const override;
 
   const HBaseConfig& config() const { return config_; }
+
+ protected:
+  std::unique_ptr<ctcore::WorkloadRun> MakeRun(int workload_size, uint64_t seed) const override;
 
  private:
   HBaseConfig config_;

@@ -110,9 +110,21 @@ HdfsArtifacts* Build() {
   add_method("BPOfferService", "blockReport", /*entry=*/true);
   add_method("BPOfferService", "stop", /*entry=*/true);
   add_method("BlockReceiver", "receivePacket", /*entry=*/true);
+  add_method("FSNamesystem", "completeFile", /*entry=*/true);
+  add_method("FSNamesystem", "startActiveServices", /*entry=*/true);
+  add_method("BPOfferService", "register", /*entry=*/true);
   add_method("DatanodeManager", "getDatanode");
+  add_method("BlockManager", "addBlock");
+  add_method("BlockManager", "blockReceived");
+  add_method("FSEditLog", "logSync");
   add_call("FSNamesystem.startFile", "DatanodeManager.getDatanode");
   add_call("FSNamesystem.getBlockLocations", "DatanodeManager.getDatanode");
+  // startFile allocates the first block; incremental block reports land in
+  // the block manager; both namespace mutations sync the edit log.
+  add_call("FSNamesystem.startFile", "BlockManager.addBlock");
+  add_call("BPOfferService.blockReport", "BlockManager.blockReceived");
+  add_call("FSNamesystem.startFile", "FSEditLog.logSync");
+  add_call("FSNamesystem.completeFile", "FSEditLog.logSync");
 
   auto& registry = ctlog::StatementRegistry::Instance();
   auto& stmts = artifacts->stmts;

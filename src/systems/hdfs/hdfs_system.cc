@@ -47,7 +47,7 @@ class HdfsRun : public ctcore::WorkloadRun {
 
 }  // namespace
 
-std::unique_ptr<ctcore::WorkloadRun> HdfsSystem::NewRun(int workload_size, uint64_t seed) const {
+std::unique_ptr<ctcore::WorkloadRun> HdfsSystem::MakeRun(int workload_size, uint64_t seed) const {
   return std::make_unique<HdfsRun>(this, workload_size, seed);
 }
 

@@ -19,11 +19,13 @@ class HdfsSystem : public ctcore::SystemUnderTest {
   std::string version() const override { return "3.3.0-SNAPSHOT"; }
   std::string workload_name() const override { return "TestDFSIO+curl"; }
   const ctmodel::ProgramModel& model() const override { return GetHdfsArtifacts().model; }
-  std::unique_ptr<ctcore::WorkloadRun> NewRun(int workload_size, uint64_t seed) const override;
   int default_workload_size() const override { return 2; }
   std::vector<ctcore::KnownBug> known_bugs() const override;
 
   const HdfsConfig& config() const { return config_; }
+
+ protected:
+  std::unique_ptr<ctcore::WorkloadRun> MakeRun(int workload_size, uint64_t seed) const override;
 
  private:
   HdfsConfig config_;

@@ -473,6 +473,7 @@ void BuildMethods(ProgramModel* model) {
   AddMethod(model, "AbstractYarnScheduler", "completeContainer");
   AddMethod(model, "AbstractYarnScheduler", "confirmContainer");
   AddMethod(model, "AbstractYarnScheduler", "getScheNode");
+  AddMethod(model, "AbstractYarnScheduler", "allocateContainer");
   AddMethod(model, "CapacityScheduler", "allocateGuaranteed");
   AddMethod(model, "OpportunisticContainerAllocator", "allocateNodes");
   AddMethod(model, "RMAppAttemptImpl", "storeAttempt");
@@ -491,6 +492,12 @@ void BuildMethods(ProgramModel* model) {
   // capacity scheduler via the subtype edge declared in BuildTypes.
   AddCall(model, "OpportunisticAMSProcessor.allocate",
           "AbstractYarnScheduler.allocateGuaranteed", ctmodel::CallKind::kVirtual);
+  // Both allocation paths funnel into the shared allocateContainer helper,
+  // where the "Allocated container" statement is emitted.
+  AddCall(model, "CapacityScheduler.allocateGuaranteed",
+          "AbstractYarnScheduler.allocateContainer");
+  AddCall(model, "OpportunisticContainerAllocator.allocateNodes",
+          "AbstractYarnScheduler.allocateContainer");
   AddCall(model, "CapacityScheduler.containerCompleted",
           "AbstractYarnScheduler.completeContainer");
   AddCall(model, "RMAppImpl.finishApplication", "AbstractYarnScheduler.completeContainer");
@@ -510,13 +517,19 @@ void BuildMethods(ProgramModel* model) {
   AddMethod(model, "MRAppMaster", "getNodeResource");
   AddMethod(model, "RMContainerAllocator", "assigned", /*entry=*/true);
   AddMethod(model, "RMContainerAllocator", "taskNodeLost", /*entry=*/true);
+  AddMethod(model, "TaskAttemptListener", "assign");
   AddMethod(model, "TaskAttemptListener", "commitPending", /*entry=*/true);
   AddMethod(model, "TaskAttemptListener", "done", /*entry=*/true);
   AddMethod(model, "ContainerLaunch", "launchJvm", /*entry=*/true);
+  AddMethod(model, "ContainerLaunch", "writeLaunchLog");
   AddMethod(model, "FileOutputCommitter", "writeOutput", /*entry=*/true);
   AddMethod(model, "TaskAttemptImpl", "initialize");
 
   AddCall(model, "RMContainerAllocator.assigned", "MRAppMaster.getNodeResource");
+  // The allocator hands each container to the listener, which logs the task
+  // assignment; the launch path mirrors the JVM record into the launch log.
+  AddCall(model, "RMContainerAllocator.assigned", "TaskAttemptListener.assign");
+  AddCall(model, "ContainerLaunch.launchJvm", "ContainerLaunch.writeLaunchLog");
   // The JVM bootstrap registers the task attempt from the child runner thread.
   AddCall(model, "ContainerLaunch.launchJvm", "TaskAttemptImpl.initialize",
           ctmodel::CallKind::kAsync);

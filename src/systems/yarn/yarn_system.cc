@@ -71,7 +71,7 @@ YarnSystem::YarnSystem(YarnMode mode, YarnConfig config) : mode_(mode), config_(
 
 const ctmodel::ProgramModel& YarnSystem::model() const { return GetYarnArtifacts(mode_).model; }
 
-std::unique_ptr<ctcore::WorkloadRun> YarnSystem::NewRun(int workload_size, uint64_t seed) const {
+std::unique_ptr<ctcore::WorkloadRun> YarnSystem::MakeRun(int workload_size, uint64_t seed) const {
   return std::make_unique<YarnRun>(this, workload_size, seed);
 }
 

@@ -22,12 +22,14 @@ class YarnSystem : public ctcore::SystemUnderTest {
   }
   std::string workload_name() const override { return "WordCount+curl"; }
   const ctmodel::ProgramModel& model() const override;
-  std::unique_ptr<ctcore::WorkloadRun> NewRun(int workload_size, uint64_t seed) const override;
   int default_workload_size() const override { return 3; }
   std::vector<ctcore::KnownBug> known_bugs() const override;
 
   YarnMode mode() const { return mode_; }
   const YarnConfig& config() const { return config_; }
+
+ protected:
+  std::unique_ptr<ctcore::WorkloadRun> MakeRun(int workload_size, uint64_t seed) const override;
 
  private:
   YarnMode mode_;

@@ -97,8 +97,23 @@ ZkArtifacts* Build() {
   add_method("SyncRequestProcessor", "run", /*entry=*/true);
   add_method("DataTree", "getData", /*entry=*/true);
   add_method("QuorumPeer", "updateElectionVote", /*entry=*/true);
+  add_method("QuorumPeer", "start", /*entry=*/true);
   add_method("DataTree", "createNode");
   add_method("FollowerRequestProcessor", "processRequest");
+  add_method("QuorumPeer", "lead");
+  add_method("ZooKeeperServer", "loadData");
+  add_method("SessionTracker", "createSession");
+  add_method("SyncRequestProcessor", "snapshot");
+  // The peer main thread leads after election and replays the snapshot
+  // before serving; sessions are minted on the request path; the sync
+  // thread rolls snapshots between txn batches.
+  model.AddCallEdge({"QuorumPeer.start", "QuorumPeer.lead", ctmodel::CallKind::kStatic});
+  model.AddCallEdge({"QuorumPeer.lead", "ZooKeeperServer.loadData",
+                     ctmodel::CallKind::kStatic});
+  model.AddCallEdge({"PrepRequestProcessor.pRequest", "SessionTracker.createSession",
+                     ctmodel::CallKind::kStatic});
+  model.AddCallEdge({"SyncRequestProcessor.run", "SyncRequestProcessor.snapshot",
+                     ctmodel::CallKind::kStatic});
   model.AddCallEdge({"PrepRequestProcessor.pRequest", "DataTree.createNode",
                      ctmodel::CallKind::kStatic});
   model.AddCallEdge({"SyncRequestProcessor.run", "DataTree.createNode",

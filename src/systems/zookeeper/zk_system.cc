@@ -44,7 +44,7 @@ class ZkRun : public ctcore::WorkloadRun {
 
 }  // namespace
 
-std::unique_ptr<ctcore::WorkloadRun> ZkSystem::NewRun(int workload_size, uint64_t seed) const {
+std::unique_ptr<ctcore::WorkloadRun> ZkSystem::MakeRun(int workload_size, uint64_t seed) const {
   return std::make_unique<ZkRun>(this, workload_size, seed);
 }
 

@@ -19,12 +19,14 @@ class ZkSystem : public ctcore::SystemUnderTest {
   std::string version() const override { return "3.5.4-beta"; }
   std::string workload_name() const override { return "SmokeTest+curl"; }
   const ctmodel::ProgramModel& model() const override { return GetZkArtifacts().model; }
-  std::unique_ptr<ctcore::WorkloadRun> NewRun(int workload_size, uint64_t seed) const override;
   int default_workload_size() const override { return 4; }
   // No new bugs: the paper found none in ZooKeeper and neither should we.
   std::vector<ctcore::KnownBug> known_bugs() const override { return {}; }
 
   const ZkConfig& config() const { return config_; }
+
+ protected:
+  std::unique_ptr<ctcore::WorkloadRun> MakeRun(int workload_size, uint64_t seed) const override;
 
  private:
   ZkConfig config_;

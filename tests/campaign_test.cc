@@ -1,0 +1,148 @@
+// Parallel injection-campaign engine: Map ordering/exception semantics, and
+// the headline determinism guarantee — the full driver on mini-YARN produces
+// a field-for-field identical SystemReport at jobs=1 and jobs=4.
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/core/campaign.h"
+#include "src/core/crashtuner.h"
+#include "src/core/report_writer.h"
+#include "src/runtime/run_context.h"
+#include "src/systems/yarn/yarn_system.h"
+
+namespace {
+
+TEST(ResolveJobs, PositivePassesThroughZeroMeansHardware) {
+  EXPECT_EQ(ctcore::ResolveJobs(1), 1);
+  EXPECT_EQ(ctcore::ResolveJobs(7), 7);
+  EXPECT_GE(ctcore::ResolveJobs(0), 1);
+  EXPECT_GE(ctcore::ResolveJobs(-3), 1);
+}
+
+TEST(CampaignEngine, MapReturnsResultsInIndexOrder) {
+  ctcore::CampaignEngine engine(4);
+  std::vector<int> squares = engine.Map(100, [](int i) { return i * i; });
+  ASSERT_EQ(squares.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+TEST(CampaignEngine, MapActuallyFansOut) {
+  ctcore::CampaignEngine engine(4);
+  std::mutex mu;
+  std::set<std::thread::id> threads;
+  engine.Map(64, [&](int i) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      threads.insert(std::this_thread::get_id());
+    }
+    // Hold the task long enough that one worker cannot drain the queue alone.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return i;
+  });
+  EXPECT_GT(threads.size(), 1u);
+}
+
+TEST(CampaignEngine, MapHandlesEmptyAndSingleTask) {
+  ctcore::CampaignEngine engine(8);
+  EXPECT_TRUE(engine.Map(0, [](int i) { return i; }).empty());
+  std::vector<int> one = engine.Map(1, [](int i) { return i + 41; });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 41);
+}
+
+TEST(CampaignEngine, MapRethrowsTaskException) {
+  ctcore::CampaignEngine engine(4);
+  EXPECT_THROW(engine.Map(16,
+                          [](int i) {
+                            if (i == 7) {
+                              throw std::runtime_error("task 7 failed");
+                            }
+                            return i;
+                          }),
+               std::runtime_error);
+}
+
+TEST(RunContextBinding, WorkerThreadsSeeTheirOwnTracer) {
+  // Two threads each bind a context and record through Instance(): neither
+  // observes the other's frames.
+  ctrt::RunContext a;
+  ctrt::RunContext b;
+  std::atomic<bool> ok_a{false};
+  std::atomic<bool> ok_b{false};
+  auto probe = [](ctrt::RunContext& context, std::atomic<bool>* ok) {
+    ctrt::ScopedRunContext bind(context);
+    ctrt::AccessTracer& tracer = ctrt::AccessTracer::Instance();
+    EXPECT_EQ(&tracer, &context.tracer());
+    tracer.PushFrame("Worker.handle");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ok->store(tracer.CaptureStack().Key() == "Worker.handle");
+    tracer.PopFrame();
+  };
+  std::thread ta(probe, std::ref(a), &ok_a);
+  std::thread tb(probe, std::ref(b), &ok_b);
+  ta.join();
+  tb.join();
+  EXPECT_TRUE(ok_a.load());
+  EXPECT_TRUE(ok_b.load());
+}
+
+bool SameOutcome(const ctcore::RunOutcome& x, const ctcore::RunOutcome& y) {
+  return x.finished == y.finished && x.failed == y.failed && x.hang == y.hang &&
+         x.timeout_issue == y.timeout_issue && x.cluster_down == y.cluster_down &&
+         x.uncommon_exceptions == y.uncommon_exceptions &&
+         x.virtual_duration_ms == y.virtual_duration_ms;
+}
+
+TEST(ParallelDeterminism, YarnReportIdenticalAtJobs1AndJobs4) {
+  ctyarn::YarnSystem yarn;
+  ctcore::CrashTunerDriver driver;
+
+  ctcore::DriverOptions sequential;
+  sequential.jobs = 1;
+  ctcore::SystemReport seq = driver.Run(yarn, sequential);
+
+  ctcore::DriverOptions parallel;
+  parallel.jobs = 4;
+  ctcore::SystemReport par = driver.Run(yarn, parallel);
+
+  // Injection outcomes field-for-field, in campaign order.
+  ASSERT_EQ(seq.injections.size(), par.injections.size());
+  for (size_t i = 0; i < seq.injections.size(); ++i) {
+    const ctcore::InjectionResult& s = seq.injections[i];
+    const ctcore::InjectionResult& p = par.injections[i];
+    EXPECT_EQ(s.point.point_id, p.point.point_id) << "injection " << i;
+    EXPECT_EQ(s.point.stack_key, p.point.stack_key) << "injection " << i;
+    EXPECT_EQ(s.kind, p.kind) << "injection " << i;
+    EXPECT_EQ(s.location, p.location) << "injection " << i;
+    EXPECT_EQ(s.field_id, p.field_id) << "injection " << i;
+    EXPECT_EQ(s.point_hit, p.point_hit) << "injection " << i;
+    EXPECT_EQ(s.injected, p.injected) << "injection " << i;
+    EXPECT_EQ(s.target_node, p.target_node) << "injection " << i;
+    EXPECT_EQ(s.accessed_value, p.accessed_value) << "injection " << i;
+    EXPECT_TRUE(SameOutcome(s.outcome, p.outcome)) << "injection " << i;
+  }
+
+  // Bug rows and counters.
+  ASSERT_EQ(seq.bugs.size(), par.bugs.size());
+  for (size_t i = 0; i < seq.bugs.size(); ++i) {
+    EXPECT_EQ(seq.bugs[i].bug_id, par.bugs[i].bug_id);
+    EXPECT_EQ(seq.bugs[i].exposing_points.size(), par.bugs[i].exposing_points.size());
+  }
+  EXPECT_EQ(seq.timeout_issues.size(), par.timeout_issues.size());
+  EXPECT_EQ(seq.dynamic_crash_points, par.dynamic_crash_points);
+  EXPECT_DOUBLE_EQ(seq.test_virtual_hours, par.test_virtual_hours);
+
+  // Byte-identical serialized reports, modulo the wall-clock fields (the only
+  // nondeterministic members by construction).
+  seq.analysis_wall_seconds = par.analysis_wall_seconds = 0;
+  seq.test_wall_seconds = par.test_wall_seconds = 0;
+  EXPECT_EQ(ctcore::ReportToJson(seq), ctcore::ReportToJson(par));
+}
+
+}  // namespace

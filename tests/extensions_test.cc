@@ -137,11 +137,10 @@ TEST(DotExport, RendersNodesAndEdges) {
 }
 
 TEST(StackDepthOption, DepthOneMergesContexts) {
-  auto& tracer = ctrt::AccessTracer::Instance();
-  tracer.set_stack_depth(1);
+  ctrt::AccessTracer::SetDefaultStackDepth(1);
   ctyarn::YarnSystem yarn;
   SystemReport shallow = CrashTunerDriver().Run(yarn);
-  tracer.set_stack_depth(ctrt::CallStack::kMaxDepth);
+  ctrt::AccessTracer::SetDefaultStackDepth(ctrt::CallStack::kMaxDepth);
   // Depth 1 cannot distinguish the two completeContainer contexts, so the
   // dynamic point count drops.
   EXPECT_LT(shallow.dynamic_crash_points, CachedReport().dynamic_crash_points);

@@ -13,6 +13,7 @@
 #include "src/analysis/crash_point_analysis.h"
 #include "src/analysis/model_lint.h"
 #include "src/core/crashtuner.h"
+#include "src/logging/statement.h"
 #include "src/systems/cassandra/cass_system.h"
 #include "src/systems/hbase/hbase_system.h"
 #include "src/systems/hdfs/hdfs_system.h"
@@ -260,6 +261,67 @@ TEST(ModelLint, VirtualEdgeWithNoDispatchTargetIsDangling) {
   model.AddCallEdge({"Server.rpc", "Base.render", CallKind::kVirtual});
   LintResult result = LintModel(model);
   EXPECT_EQ(result.CountOf("dangling-edge"), 1);
+}
+
+TEST(ModelLint, FlagsLogBindingAgainstUndeclaredLocation) {
+  // The template uses nonsense tokens so the shared registry entry can never
+  // shadow a real statement in the pattern matcher.
+  ProgramModel model = TinyModel();
+  auto& registry = ctlog::StatementRegistry::Instance();
+
+  ctmodel::LogBinding bad;
+  bad.statement_id = registry.Register(ctlog::Level::kInfo, "lintcheck qqz {}",
+                                       "Server.vanished");  // not a declared method
+  model.BindLog(bad);
+
+  ctmodel::LogBinding good;
+  good.statement_id =
+      registry.Register(ctlog::Level::kInfo, "lintcheck qqy {}", "Server.helper");
+  model.BindLog(good);
+
+  ctmodel::LogBinding unregistered;
+  unregistered.statement_id = registry.size() + 1000;
+  model.BindLog(unregistered);
+
+  LintResult result = LintModel(model);
+  EXPECT_EQ(result.CountOf("dangling-log-location"), 2);
+}
+
+TEST(ModelLint, FlagsInconsistentIoPoints) {
+  ProgramModel model = TinyModel();
+  model.AddIoMethod({"fs.Stream", "write"});
+
+  ctmodel::IoPointDecl ok;
+  ok.io_class = "fs.Stream";
+  ok.io_method = "write";
+  ok.callsite = "Server.leaf";  // declared and reachable from Server.rpc
+  ok.executable = true;
+  model.AddIoPoint(ok);
+
+  ctmodel::IoPointDecl undeclared_method = ok;
+  undeclared_method.io_method = "fsync";  // no such IoMethodDecl
+  model.AddIoPoint(undeclared_method);
+
+  ctmodel::IoPointDecl dangling_callsite = ok;
+  dangling_callsite.callsite = "Server.vanished";
+  model.AddIoPoint(dangling_callsite);
+
+  DeclareMethod(&model, "Server", "island");  // declared, but no edges reach it
+  ctmodel::IoPointDecl unreachable = ok;
+  unreachable.callsite = "Server.island";
+  model.AddIoPoint(unreachable);
+
+  // A non-executable point only needs its method pair declared, like the
+  // catalog-only access points.
+  ctmodel::IoPointDecl catalog_only = ok;
+  catalog_only.callsite = "Server.vanished";
+  catalog_only.executable = false;
+  model.AddIoPoint(catalog_only);
+
+  LintResult result = LintModel(model);
+  EXPECT_EQ(result.CountOf("dangling-io-method"), 1);
+  EXPECT_EQ(result.CountOf("dangling-io-callsite"), 1);
+  EXPECT_EQ(result.CountOf("unreachable-io-point"), 1);
 }
 
 // --- Table 3 keyword edge cases ---------------------------------------------

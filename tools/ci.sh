@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Repository CI: warnings-as-errors build, tier-1 tests, model lint, then an
-# ASan+UBSan build of the same tree. Run from the repository root:
+# Repository CI: warnings-as-errors build, tier-1 tests, model lint, a
+# jobs=1-vs-jobs=hw smoke of the parallel injection campaign, then ASan+UBSan
+# and TSan builds of the same tree (the two sanitizers cannot share a build).
+# Run from the repository root:
 #   tools/ci.sh [--skip-sanitizers]
 set -euo pipefail
 
@@ -24,15 +26,28 @@ ctest --test-dir build --output-on-failure -j "$jobs"
 echo "== stage 3: model lint =="
 ./build/tools/ctlint --summary
 
+echo "== stage 4: parallel campaign smoke (jobs=1 vs jobs=hw) =="
+# Times the Phase-2 campaign sequentially and at hardware concurrency and
+# leaves the measurement in BENCH_parallel.json. The determinism guarantee
+# itself (identical report at any thread count) is covered by campaign_test;
+# this smoke only has to prove the parallel path runs outside the tests.
+./build/bench/bench_table5_new_bugs --speedup --jobs 0 --json build/BENCH_parallel.json \
+  | tail -n 12
+
 if [[ "$skip_sanitizers" == 1 ]]; then
-  echo "== stage 4: sanitizers skipped =="
+  echo "== stages 5-6: sanitizers skipped =="
   exit 0
 fi
 
-echo "== stage 4: ASan+UBSan build + tests =="
+echo "== stage 5: ASan+UBSan build + tests =="
 cmake -B build-asan -S . -DCRASHTUNER_SANITIZE=address,undefined
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 ./build-asan/tools/ctlint
+
+echo "== stage 6: TSan build + tests =="
+cmake -B build-tsan -S . -DCRASHTUNER_SANITIZE=thread
+cmake --build build-tsan -j "$jobs"
+ctest --test-dir build-tsan --output-on-failure -j "$jobs"
 
 echo "CI green."
