@@ -2,7 +2,14 @@
 // mini-YARN. First runs the standard single-crash pipeline, then chains a
 // second injection onto each run and reports which failures only appear
 // under two crashes.
+//
+// --static-only draws the pair candidates from statically enumerated
+// contexts (ContextMode::kStaticOnly) instead of profiled runs — the
+// quadratic phase then needs zero profiling workloads. --json FILE
+// additionally runs the profiled and static pipelines on all five systems
+// and writes the pair-set precision/recall cross-check per system.
 #include <chrono>
+#include <fstream>
 
 #include "bench/bench_util.h"
 #include "src/analysis/log_analysis.h"
@@ -10,15 +17,61 @@
 #include "src/core/executor.h"
 #include "src/core/multi_crash.h"
 
+namespace {
+
+// Uncapped pair-set cross-check for one system: profiled pipeline vs
+// static-only pipeline over the same seed.
+struct PairCrossRow {
+  std::string system;
+  ctcore::PairSetCrossCheck check;
+  int static_points = 0;
+  int profiled_points = 0;
+  int instrumented_runs = 0;  // of the static pipeline; must be 0
+};
+
+PairCrossRow CrossCheckSystem(const ctcore::SystemUnderTest& system) {
+  ctcore::CrashTunerDriver driver;
+  ctcore::SystemReport profiled = driver.Run(system);
+  ctcore::DriverOptions options;
+  options.context_mode = ctcore::ContextMode::kStaticOnly;
+  ctcore::SystemReport enumerated = driver.Run(system, options);
+  PairCrossRow row;
+  row.system = system.name();
+  row.check = ctcore::ComparePairSets(profiled.profile.dynamic_access_points,
+                                      enumerated.profile.dynamic_access_points);
+  row.static_points = static_cast<int>(enumerated.profile.dynamic_access_points.size());
+  row.profiled_points = static_cast<int>(profiled.profile.dynamic_access_points.size());
+  row.instrumented_runs = enumerated.profile.instrumented_runs;
+  return row;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   ctbench::BenchFlags flags = ctbench::ParseFlags(argc, argv);
-  int max_pairs =
-      flags.positional.empty() ? 60 : std::atoi(flags.positional.front().c_str());
-  ctbench::PrintHeader("Extension — multi-crash (pairwise) injection on mini-YARN");
+  bool static_only = false;
+  int max_pairs = 60;
+  for (const std::string& arg : flags.positional) {
+    if (arg == "--static-only") {
+      static_only = true;
+    } else {
+      max_pairs = std::atoi(arg.c_str());
+    }
+  }
+  ctbench::PrintHeader(static_only
+                           ? "Extension — multi-crash injection on mini-YARN (static contexts)"
+                           : "Extension — multi-crash (pairwise) injection on mini-YARN");
 
   ctyarn::YarnSystem yarn;
   ctcore::CrashTunerDriver driver;
-  ctcore::SystemReport single = driver.Run(yarn);
+  ctcore::DriverOptions options;
+  if (static_only) {
+    options.context_mode = ctcore::ContextMode::kStaticOnly;
+  }
+  ctcore::SystemReport single = driver.Run(yarn, options);
+  std::printf("contexts    : %s, %d dynamic points, %d instrumented (profiling) runs\n",
+              static_only ? "statically enumerated" : "profiled",
+              single.dynamic_crash_points, single.profile.instrumented_runs);
 
   ctanalysis::LogAnalysis log_analysis(&yarn.model(), {"master", "node1", "node2", "node3"});
   ctlog::OnlineFilter filter = log_analysis.MakeOnlineFilter(single.log_result);
@@ -65,6 +118,35 @@ int main(int argc, char** argv) {
                         parallel.multi_only.size() == report.multi_only.size()
                     ? "identical"
                     : "DIVERGED");
+  }
+
+  if (!flags.json_path.empty()) {
+    ctbench::PrintRule();
+    std::printf("pair-set cross-check (uncapped): static-only vs profiled per system\n");
+    std::printf("%-16s %8s %8s %8s %8s %10s %6s\n", "system", "prof-pts", "stat-pts",
+                "prof-prs", "stat-prs", "recall", "prec");
+    std::ofstream json(flags.json_path);
+    json << "[";
+    bool first = true;
+    for (const auto& system : ctbench::AllSystems()) {
+      PairCrossRow row = CrossCheckSystem(*system);
+      std::printf("%-16s %8d %8d %8lld %8lld %9.1f%% %5.3f\n", row.system.c_str(),
+                  row.profiled_points, row.static_points, row.check.profiled,
+                  row.check.enumerated, 100.0 * row.check.Recall(), row.check.Precision());
+      if (!first) {
+        json << ",";
+      }
+      first = false;
+      json << "\n  {\"system\":\"" << row.system << "\",\"profiled_points\":"
+           << row.profiled_points << ",\"static_points\":" << row.static_points
+           << ",\"profiled_pairs\":" << row.check.profiled
+           << ",\"static_pairs\":" << row.check.enumerated
+           << ",\"matched_pairs\":" << row.check.matched << ",\"recall\":" << row.check.Recall()
+           << ",\"precision\":" << row.check.Precision()
+           << ",\"static_instrumented_runs\":" << row.instrumented_runs << "}";
+    }
+    json << "\n]\n";
+    std::printf("wrote %s\n", flags.json_path.c_str());
   }
   return 0;
 }

@@ -25,8 +25,9 @@ double WallSeconds(const std::function<void()>& fn) {
 int main() {
   ctbench::PrintHeader(
       "Static call-string enumeration vs profiling (dynamic crash points)");
-  std::printf("%-14s | %8s %6s | %8s %6s | %7s %9s | %8s %8s\n", "System", "Profiled", "iters",
-              "Static", "prune", "Recall", "Precision", "t_prof", "t_static");
+  std::printf("%-14s | %8s %6s | %8s %6s %8s | %7s %9s | %8s %8s\n", "System", "Profiled",
+              "iters", "Static", "prune", "cs-prune", "Recall", "Precision", "t_prof",
+              "t_static");
   ctbench::PrintRule();
   for (const auto& system : ctbench::AllSystems()) {
     ctcore::CrashTunerDriver driver;
@@ -39,20 +40,23 @@ int main() {
     ctcore::SystemReport seeded;
     double t_static = WallSeconds([&] { seeded = driver.Run(*system, options); });
 
-    std::printf("%-14s | %8d %6d | %8d %6d | %6.1f%% %8.1f%% | %7.2fs %7.2fs\n",
+    std::printf("%-14s | %8d %6d | %8d %6d %8d | %6.1f%% %8.1f%% | %7.2fs %7.2fs\n",
                 system->name().c_str(), profiled.dynamic_crash_points,
                 profiled.profile.iterations, seeded.static_contexts,
-                seeded.static_unreachable_points, 100.0 * seeded.context_check.Recall(),
+                seeded.static_unreachable_points, seeded.static_pruned_call_strings,
+                100.0 * seeded.context_check.Recall(),
                 100.0 * seeded.context_check.Precision(), t_profiled, t_static);
   }
   std::printf("Recall: profiled pairs the enumeration reproduces (must be 100%%).\n");
   std::printf("Precision: enumerated pairs over profiled points the workload exercised.\n");
   std::printf("prune: executable candidates dropped for unreachable anchors.\n");
+  std::printf("cs-prune: individual call strings dropped by per-string feasibility.\n");
 
   ctbench::PrintHeader("Depth ablation — enumerated contexts at call-string bounds 1..6");
+  std::printf("Each cell: feasible contexts (strings removed by per-string pruning).\n");
   std::printf("%-14s |", "System");
   for (int depth = 1; depth <= 6; ++depth) {
-    std::printf(" %7s", ("d=" + std::to_string(depth)).c_str());
+    std::printf(" %11s", ("d=" + std::to_string(depth)).c_str());
   }
   std::printf(" | %9s\n", "unreach");
   ctbench::PrintRule();
@@ -62,8 +66,12 @@ int main() {
     std::printf("%-14s |", system->name().c_str());
     size_t unreachable = 0;
     for (int depth = 1; depth <= 6; ++depth) {
-      ctanalysis::StaticContextResult result = enumeration.EnumerateAll(depth);
-      std::printf(" %7d", result.TotalContexts());
+      ctanalysis::StaticContextResult result =
+          enumeration.EnumerateAll(depth, /*prune_infeasible=*/true);
+      char cell[32];
+      std::snprintf(cell, sizeof(cell), "%d(-%d)", result.TotalContexts(),
+                    result.pruned_call_strings);
+      std::printf(" %11s", cell);
       unreachable = result.unreachable_points.size();
     }
     std::printf(" | %9zu\n", unreachable);

@@ -94,6 +94,37 @@ CallGraph::CallGraph(const ctmodel::ProgramModel& model) : model_(&model) {
       }
     }
   }
+
+  // 5. Feasible roots (context roots that are reachable — a stack can really
+  // be born there) and their forward closure over sync edges, which bounds
+  // where a depth-truncated stack window may end.
+  std::map<std::string, std::vector<std::string>> sync_callees;
+  for (const auto& edge : edges_) {
+    if (edge.kind != ctmodel::CallKind::kAsync) {
+      sync_callees[edge.caller].push_back(edge.callee);
+    }
+  }
+  for (const auto& root : context_roots_) {
+    if (reachable_.count(root) > 0) {
+      feasible_roots_.insert(root);
+      if (sync_closure_of_feasible_roots_.insert(root).second) {
+        frontier.push_back(root);
+      }
+    }
+  }
+  while (!frontier.empty()) {
+    std::string current = frontier.front();
+    frontier.pop_front();
+    auto it = sync_callees.find(current);
+    if (it == sync_callees.end()) {
+      continue;
+    }
+    for (const auto& callee : it->second) {
+      if (sync_closure_of_feasible_roots_.insert(callee).second) {
+        frontier.push_back(callee);
+      }
+    }
+  }
 }
 
 const std::vector<std::string>& CallGraph::SyncCallersOf(const std::string& method_id) const {
@@ -108,6 +139,14 @@ bool CallGraph::IsReachable(const std::string& method_id) const {
 
 bool CallGraph::IsContextRoot(const std::string& method_id) const {
   return context_roots_.count(method_id) > 0;
+}
+
+bool CallGraph::IsFeasibleRoot(const std::string& method_id) const {
+  return feasible_roots_.count(method_id) > 0;
+}
+
+bool CallGraph::IsSyncReachableFromFeasibleRoot(const std::string& method_id) const {
+  return sync_closure_of_feasible_roots_.count(method_id) > 0;
 }
 
 }  // namespace ctanalysis

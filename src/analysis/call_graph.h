@@ -55,6 +55,22 @@ class CallGraph {
   // point or the target of an async edge.
   bool IsContextRoot(const std::string& method_id) const;
 
+  // A feasible root is a context root some workload can actually give birth
+  // to a stack at: entry points are feasible by definition, async callees
+  // only if their scheduling site is itself reachable. Complete call strings
+  // (fewer frames than the depth bound) are realizable iff their outermost
+  // frame is a feasible root.
+  bool IsFeasibleRoot(const std::string& method_id) const;
+  const std::set<std::string>& feasible_roots() const { return feasible_roots_; }
+
+  // Forward closure of the feasible roots over sync edges only. A method in
+  // this set can sit at the *bottom of a visible stack window*: either it is
+  // a feasible root itself, or some realizable stack extends below it and the
+  // tracer's depth cap truncated the frames underneath. Truncated call
+  // strings (exactly `depth` frames) are realizable iff their outermost frame
+  // is in this closure.
+  bool IsSyncReachableFromFeasibleRoot(const std::string& method_id) const;
+
   int num_methods() const { return model_->NumMethods(); }
   int num_declared_edges() const { return model_->NumCallEdges(); }
   int num_resolved_edges() const { return static_cast<int>(edges_.size()); }
@@ -67,6 +83,8 @@ class CallGraph {
   std::map<std::string, std::vector<std::string>> sync_callers_;
   std::set<std::string> reachable_;
   std::set<std::string> context_roots_;
+  std::set<std::string> feasible_roots_;
+  std::set<std::string> sync_closure_of_feasible_roots_;
   int dispatch_expansions_ = 0;
 };
 

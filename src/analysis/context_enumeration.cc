@@ -18,7 +18,8 @@ bool StaticContextResult::Contains(int point_id, const std::string& stack_key) c
 }
 
 std::set<std::string> ContextEnumeration::EnumerateMethod(const std::string& method_id,
-                                                          int depth) const {
+                                                          int depth,
+                                                          bool prune_infeasible) const {
   std::set<std::string> keys;
   if (depth <= 0 || graph_->model().FindMethod(method_id) == nullptr) {
     return keys;
@@ -27,15 +28,22 @@ std::set<std::string> ContextEnumeration::EnumerateMethod(const std::string& met
   // complete stack and must end (outermost) at a context root; a string of
   // exactly `depth` frames may also be a truncation of a deeper stack, so it
   // is admitted regardless of where it stops. Cycles are naturally bounded by
-  // the depth cap.
+  // the depth cap. With pruning the same admission happens against the
+  // feasibility predicate instead (kept string-for-string equivalent to
+  // filtering the unpruned set through IsFeasibleKey).
   std::vector<std::string> path{method_id};
   std::string key = method_id;
   std::function<void()> extend = [&] {
-    if (graph_->IsContextRoot(path.back()) ||
-        static_cast<int>(path.size()) == depth) {
+    const bool at_depth = static_cast<int>(path.size()) == depth;
+    const bool admit =
+        prune_infeasible
+            ? (at_depth ? graph_->IsSyncReachableFromFeasibleRoot(path.back())
+                        : graph_->IsFeasibleRoot(path.back()))
+            : (graph_->IsContextRoot(path.back()) || at_depth);
+    if (admit) {
       keys.insert(key);
     }
-    if (static_cast<int>(path.size()) == depth) {
+    if (at_depth) {
       return;
     }
     for (const std::string& caller : graph_->SyncCallersOf(path.back())) {
@@ -51,12 +59,34 @@ std::set<std::string> ContextEnumeration::EnumerateMethod(const std::string& met
   return keys;
 }
 
-StaticContextResult ContextEnumeration::EnumerateAll(int depth) const {
+bool ContextEnumeration::IsFeasibleKey(const std::string& stack_key, int depth) const {
+  if (stack_key.empty() || depth <= 0) {
+    return false;
+  }
+  int frames = 1;
+  std::string::size_type pos = 0;
+  std::string::size_type last = 0;
+  while ((pos = stack_key.find('<', pos)) != std::string::npos) {
+    ++frames;
+    ++pos;
+    last = pos;
+  }
+  if (frames > depth) {
+    return false;
+  }
+  const std::string outermost = stack_key.substr(last);
+  return frames == depth ? graph_->IsSyncReachableFromFeasibleRoot(outermost)
+                         : graph_->IsFeasibleRoot(outermost);
+}
+
+StaticContextResult ContextEnumeration::EnumerateAll(int depth, bool prune_infeasible) const {
   StaticContextResult result;
   result.depth = depth;
   const ctmodel::ProgramModel& model = graph_->model();
   // Anchors repeat across points (several points in one method), so memoize.
-  std::map<std::string, std::set<std::string>> by_anchor;
+  // With pruning we also keep the unpruned size per anchor to account, per
+  // point, for how many strings feasibility removed.
+  std::map<std::string, std::pair<std::set<std::string>, int>> by_anchor;
   for (const auto& point : model.access_points()) {
     const std::string anchor = ctmodel::ProgramModel::ContextMethodOf(point);
     if (!graph_->IsReachable(anchor)) {
@@ -65,10 +95,18 @@ StaticContextResult ContextEnumeration::EnumerateAll(int depth) const {
     }
     auto it = by_anchor.find(anchor);
     if (it == by_anchor.end()) {
-      it = by_anchor.emplace(anchor, EnumerateMethod(anchor, depth)).first;
+      std::set<std::string> keys = EnumerateMethod(anchor, depth, prune_infeasible);
+      int unpruned = prune_infeasible
+                         ? static_cast<int>(EnumerateMethod(anchor, depth, false).size())
+                         : static_cast<int>(keys.size());
+      it = by_anchor.emplace(anchor, std::make_pair(std::move(keys), unpruned)).first;
     }
-    if (!it->second.empty()) {
-      result.contexts_by_point[point.id] = it->second;
+    const auto& [keys, unpruned] = it->second;
+    result.pruned_call_strings += unpruned - static_cast<int>(keys.size());
+    if (!keys.empty()) {
+      result.contexts_by_point[point.id] = keys;
+    } else if (prune_infeasible && unpruned > 0) {
+      result.infeasible_points.insert(point.id);
     }
   }
   return result;

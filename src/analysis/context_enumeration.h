@@ -13,6 +13,17 @@
 // The enumeration is an over-approximation: every context the profiler can
 // observe is enumerated (100% recall is a checked invariant), while paths the
 // workload never takes make precision < 1. CompareWithProfile reports both.
+//
+// Per-call-string feasibility (`prune_infeasible`) tightens the set without
+// touching recall: a complete string is realizable only if its outermost
+// frame is a *feasible* root (reachable from an entry point — the stack can
+// actually be born there), and a truncated string only if its outermost frame
+// lies in the sync-edge closure of the feasible roots (some realizable stack
+// extends below the visible window). Profiler-observed strings always satisfy
+// both — real stacks are born at executed roots — so pruning removes
+// individual impossible strings instead of dropping whole crash points.
+// Prune-then-enumerate is exactly enumerate-then-filter by IsFeasibleKey (a
+// property-tested invariant).
 #ifndef SRC_ANALYSIS_CONTEXT_ENUMERATION_H_
 #define SRC_ANALYSIS_CONTEXT_ENUMERATION_H_
 
@@ -33,6 +44,13 @@ struct StaticContextResult {
   std::map<int, std::set<std::string>> contexts_by_point;
   // Access points whose anchor method is not reachable from any entry point.
   std::set<int> unreachable_points;
+  // Reachable points whose every enumerated call string was pruned as
+  // infeasible (only populated when pruning is on); they get no entry in
+  // contexts_by_point.
+  std::set<int> infeasible_points;
+  // Point-level count of call strings removed by per-call-string pruning:
+  // sum over points of |unpruned contexts| - |feasible contexts|.
+  int pruned_call_strings = 0;
 
   int TotalContexts() const;
   bool Contains(int point_id, const std::string& stack_key) const;
@@ -44,11 +62,21 @@ class ContextEnumeration {
 
   // Enumerates contexts for every access point in the model (synthetic and
   // executable alike — the static analysis cannot tell them apart).
-  // `depth` matches the tracer's stack depth, 1..6 in the ablation.
-  StaticContextResult EnumerateAll(int depth) const;
+  // `depth` matches the tracer's stack depth, 1..6 in the ablation. With
+  // `prune_infeasible` each enumerated call string is additionally checked
+  // against IsFeasibleKey and dropped if no workload entry can realize it.
+  StaticContextResult EnumerateAll(int depth, bool prune_infeasible = false) const;
 
   // Call strings for one anchor method; exposed for tests and ctlint.
-  std::set<std::string> EnumerateMethod(const std::string& method_id, int depth) const;
+  std::set<std::string> EnumerateMethod(const std::string& method_id, int depth,
+                                        bool prune_infeasible = false) const;
+
+  // The per-call-string feasibility predicate, on a canonical
+  // "inner<outer<..." key: a complete string (< depth frames) must begin at a
+  // feasible root; a truncated string (exactly depth frames) must begin in
+  // the sync closure of the feasible roots. Filtering an unpruned enumeration
+  // through this predicate equals enumerating with prune_infeasible=true.
+  bool IsFeasibleKey(const std::string& stack_key, int depth) const;
 
  private:
   const CallGraph* graph_;

@@ -131,6 +131,45 @@ LintResult LintModel(const ctmodel::ProgramModel& model) {
     }
   }
 
+  // Declared multi-crash pairs must be armable end to end: both points in
+  // range and executable (a trigger needs a runtime hook), and both anchors
+  // statically reachable — above all the second, whose trigger is re-armed
+  // mid-recovery and silently never fires if no workload path reaches it.
+  for (size_t i = 0; i < model.multi_crash_pairs().size(); ++i) {
+    const ctmodel::MultiCrashPairDecl& pair = model.multi_crash_pairs()[i];
+    const std::string subject = "pair#" + std::to_string(i) + " (" +
+                                std::to_string(pair.first_point) + " -> " +
+                                std::to_string(pair.second_point) + ")";
+    bool in_range = true;
+    for (const auto& [role, id] : {std::pair<const char*, int>{"first", pair.first_point},
+                                   {"second", pair.second_point}}) {
+      if (id < 0 || id >= num_points) {
+        report("static-pair-unreachable", subject,
+               std::string(role) + " point id is out of range");
+        in_range = false;
+      }
+    }
+    if (!in_range) {
+      continue;
+    }
+    for (const auto& [role, id] : {std::pair<const char*, int>{"first", pair.first_point},
+                                   {"second", pair.second_point}}) {
+      const ctmodel::AccessPointDecl& point = model.access_point(id);
+      if (!point.executable) {
+        report("static-pair-unreachable", subject,
+               std::string(role) + " point " + PointSubject(point) +
+                   " is not executable — no runtime hook to arm");
+        continue;
+      }
+      const std::string anchor = ctmodel::ProgramModel::ContextMethodOf(point);
+      if (!graph.IsReachable(anchor)) {
+        report("static-pair-unreachable", subject,
+               std::string(role) + " point anchor '" + anchor +
+                   "' is unreachable from every entry point");
+      }
+    }
+  }
+
   // IO points get the same treatment as access points: their method pair must
   // be declared, and executable callsites must be declared, reachable methods.
   std::set<std::pair<std::string, std::string>> declared_io_methods;

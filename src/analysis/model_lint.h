@@ -28,6 +28,12 @@
 //                        method (its frame could never be on a stack)
 //   unreachable-io-point executable IO point whose callsite the call graph
 //                        cannot reach from any entry point
+//   static-pair-unreachable
+//                        model-declared multi-crash pair whose points cannot
+//                        both be armed: an out-of-range or non-executable
+//                        point, or (chiefly) a second point whose anchor the
+//                        call graph cannot reach — the re-armed trigger would
+//                        never fire and the declared scenario is untestable
 //
 // `tools/ctlint` runs this over all five shipped models in CI.
 #ifndef SRC_ANALYSIS_MODEL_LINT_H_

@@ -160,8 +160,8 @@ SystemReport CrashTunerDriver::Run(const SystemUnderTest& system,
   if (static_mode) {
     ctanalysis::CallGraph graph(model);
     ctanalysis::ContextEnumeration enumeration(&graph);
-    ctanalysis::StaticContextResult contexts =
-        enumeration.EnumerateAll(options.static_context_depth);
+    ctanalysis::StaticContextResult contexts = enumeration.EnumerateAll(
+        options.static_context_depth, options.prune_infeasible_contexts);
     report.context_check =
         ctanalysis::CompareWithProfile(contexts, report.profile.dynamic_access_points);
     std::set<ctrt::DynamicPoint> static_points;
@@ -174,6 +174,8 @@ SystemReport CrashTunerDriver::Run(const SystemUnderTest& system,
       if (it == contexts.contexts_by_point.end()) {
         if (contexts.unreachable_points.count(id) > 0) {
           ++report.static_unreachable_points;
+        } else if (contexts.infeasible_points.count(id) > 0) {
+          ++report.static_infeasible_points;
         }
         continue;
       }
@@ -182,6 +184,7 @@ SystemReport CrashTunerDriver::Run(const SystemUnderTest& system,
       }
     }
     report.static_contexts = static_cast<int>(static_points.size());
+    report.static_pruned_call_strings = contexts.pruned_call_strings;
     report.profile.dynamic_access_points = std::move(static_points);
   }
   report.profile_virtual_seconds =

@@ -67,6 +67,8 @@ struct SystemReport {
   // Static context enumeration (context modes other than kProfiled).
   int static_contexts = 0;            // enumerated ⟨point, context⟩ pairs in use
   int static_unreachable_points = 0;  // executable candidates with no reachable anchor
+  int static_infeasible_points = 0;   // reachable anchors whose strings all pruned
+  int static_pruned_call_strings = 0;  // individual strings removed by feasibility
   ctanalysis::ContextCrossCheck context_check;  // vs the profiled set (kStaticSeeded)
 
   ctanalysis::LogAnalysisResult log_result;
@@ -99,6 +101,11 @@ struct DriverOptions {
   ContextMode context_mode = ContextMode::kProfiled;
   // Call-string bound for the static modes (the tracer's stack depth).
   int static_context_depth = 5;
+  // Per-call-string feasibility prune (static modes): drop individual
+  // enumerated strings no workload entry can realize — complete strings not
+  // born at a feasible root, truncated strings outside the feasible roots'
+  // sync closure — instead of only whole points with unreachable anchors.
+  bool prune_infeasible_contexts = true;
   // Pre-read trigger wait window (§3.2.2; the paper defaults to 10 s). The
   // window must outlast failure handling for the recovery to race the read.
   ctsim::Time pre_read_wait_ms = FaultInjectionTester::kPreReadWaitMs;

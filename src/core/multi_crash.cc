@@ -9,6 +9,54 @@
 
 namespace ctcore {
 
+std::vector<CrashPairCandidate> EnumerateCrashPairs(const std::set<ctrt::DynamicPoint>& points,
+                                                    long long max_pairs) {
+  std::vector<CrashPairCandidate> pairs;
+  if (max_pairs == 0) {
+    return pairs;
+  }
+  const std::vector<ctrt::DynamicPoint> ordered(points.begin(), points.end());
+  const size_t cap = max_pairs < 0 ? ordered.size() * ordered.size()
+                                   : static_cast<size_t>(max_pairs);
+  for (size_t i = 0; i < ordered.size() && pairs.size() < cap; ++i) {
+    for (size_t j = 0; j < ordered.size() && pairs.size() < cap; ++j) {
+      if (i == j) {
+        continue;
+      }
+      pairs.push_back({ordered[i], ordered[j]});
+    }
+  }
+  return pairs;
+}
+
+double PairSetCrossCheck::Recall() const {
+  return profiled == 0 ? 1.0 : static_cast<double>(matched) / static_cast<double>(profiled);
+}
+
+double PairSetCrossCheck::Precision() const {
+  return enumerated == 0 ? 1.0
+                         : static_cast<double>(matched) / static_cast<double>(enumerated);
+}
+
+PairSetCrossCheck ComparePairSets(const std::set<ctrt::DynamicPoint>& profiled_points,
+                                  const std::set<ctrt::DynamicPoint>& static_points) {
+  PairSetCrossCheck check;
+  const long long s = static_cast<long long>(static_points.size());
+  check.enumerated = s * (s - 1);
+  // Walk the profiled pairs explicitly (they are the small side) and test
+  // membership in the static pair set, which needs only point membership:
+  // (a, b) is statically enumerable iff both endpoints are static points.
+  for (const CrashPairCandidate& pair : EnumerateCrashPairs(profiled_points, -1)) {
+    ++check.profiled;
+    if (static_points.count(pair.first) > 0 && static_points.count(pair.second) > 0) {
+      ++check.matched;
+    } else {
+      check.missed.push_back(pair);
+    }
+  }
+  return check;
+}
+
 ctanalysis::CrashPointKind MultiCrashTester::KindOf(int point_id, std::string* location) const {
   for (const auto& point : crash_points_->points) {
     if (point.access_point_id == point_id) {
@@ -104,30 +152,17 @@ MultiCrashReport MultiCrashTester::TestPairs(const ProfileResult& profile,
   // Enumerate the (deterministically ordered, capped) pair list up front so
   // the runs can fan out across worker threads; each pair's seed derives from
   // its position in the walk, exactly as the sequential loop assigned them.
-  std::vector<ctrt::DynamicPoint> points(profile.dynamic_access_points.begin(),
-                                         profile.dynamic_access_points.end());
-  struct PairTask {
-    ctrt::DynamicPoint first;
-    ctrt::DynamicPoint second;
-    uint64_t trial;
-  };
-  std::vector<PairTask> tasks;
-  const size_t cap = max_pairs > 0 ? static_cast<size_t>(max_pairs) : 0;
-  uint64_t trial = 0;
-  for (size_t i = 0; i < points.size() && tasks.size() < cap; ++i) {
-    for (size_t j = 0; j < points.size() && tasks.size() < cap; ++j) {
-      if (i == j) {
-        continue;
-      }
-      tasks.push_back({points[i], points[j], ++trial});
-    }
-  }
+  // The shared enumerator means a static-only point set feeds the quadratic
+  // phase through the very same walk the profiled set does.
+  std::vector<CrashPairCandidate> tasks =
+      EnumerateCrashPairs(profile.dynamic_access_points, max_pairs);
 
   CampaignEngine engine(jobs);
   std::vector<PairInjectionResult> results =
       engine.Map(static_cast<int>(tasks.size()), [&](int i) {
-        const PairTask& task = tasks[static_cast<size_t>(i)];
-        return TestPair(task.first, task.second, seed + 31ull * task.trial);
+        const CrashPairCandidate& task = tasks[static_cast<size_t>(i)];
+        const uint64_t trial = static_cast<uint64_t>(i) + 1;
+        return TestPair(task.first, task.second, seed + 31ull * trial);
       });
 
   // Aggregate in pair order: double summation and report rows come out the

@@ -10,9 +10,17 @@
 // The pair space is quadratic, so the tester takes an explicit cap and walks
 // pairs in a deterministic order; bench_multicrash reports what the deeper
 // search buys on the mini systems.
+//
+// The pair candidates come from whatever dynamic point set the driver
+// produced — profiled runs in ContextMode::kProfiled, *statically enumerated*
+// contexts in kStaticOnly — through one shared enumerator
+// (EnumerateCrashPairs), so the static mode builds its quadratic set with no
+// profiling runs and ComparePairSets can score it against the profiled set.
 #ifndef SRC_CORE_MULTI_CRASH_H_
 #define SRC_CORE_MULTI_CRASH_H_
 
+#include <cstddef>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -25,6 +33,45 @@
 #include "src/runtime/tracer.h"
 
 namespace ctcore {
+
+// One ordered second-crash candidate: inject at `first`, then re-arm `second`.
+struct CrashPairCandidate {
+  ctrt::DynamicPoint first;
+  ctrt::DynamicPoint second;
+
+  bool operator<(const CrashPairCandidate& other) const {
+    if (!(first == other.first)) {
+      return first < other.first;
+    }
+    return second < other.second;
+  }
+  bool operator==(const CrashPairCandidate& other) const {
+    return first == other.first && second == other.second;
+  }
+};
+
+// Deterministic ordered walk of first×second over a sorted dynamic point set
+// (i != j), capped at `max_pairs` (negative = uncapped). Both the profiled
+// and the static-only campaign draw their pair lists from here, so the two
+// modes differ only in where the points came from.
+std::vector<CrashPairCandidate> EnumerateCrashPairs(
+    const std::set<ctrt::DynamicPoint>& points, long long max_pairs);
+
+// Static-vs-profiled cross-check over the *uncapped* pair sets.
+struct PairSetCrossCheck {
+  long long profiled = 0;    // pairs enumerable from the profiled point set
+  long long matched = 0;     // of those, present in the static pair set
+  long long enumerated = 0;  // pairs enumerable from the static point set
+  std::vector<CrashPairCandidate> missed;  // profiled pairs the static set lacks
+
+  // Soundness direction: every profiled pair must be statically enumerated.
+  double Recall() const;
+  // Fraction of statically enumerated pairs the profiler realized.
+  double Precision() const;
+};
+
+PairSetCrossCheck ComparePairSets(const std::set<ctrt::DynamicPoint>& profiled_points,
+                                  const std::set<ctrt::DynamicPoint>& static_points);
 
 struct PairInjectionResult {
   ctrt::DynamicPoint first;

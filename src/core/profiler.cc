@@ -10,12 +10,18 @@ ProfileResult Profiler::Profile(const SystemUnderTest& system, const std::set<in
   if (max_iterations < 1) {
     max_iterations = 1;
   }
+  // With nothing to instrument (the static-only mode) the run is a plain
+  // observation run: the tracer stays kOff and no profiling work happens.
+  const bool instrument = !access_points.empty() || !io_points.empty();
   int size = system.default_workload_size();
   for (int iteration = 0; iteration < max_iterations; ++iteration) {
     // Prepare the run's own tracer before construction so hooks fired while
     // the deployment is built are already profiled.
     auto run = system.NewRun(size, seed + static_cast<uint64_t>(iteration),
                              [&](ctrt::RunContext& context) {
+                               if (!instrument) {
+                                 return;
+                               }
                                context.tracer().Reset(ctrt::TraceMode::kProfile);
                                context.tracer().SetProfiledPoints(access_points, io_points);
                              });
@@ -23,6 +29,9 @@ ProfileResult Profiler::Profile(const SystemUnderTest& system, const std::set<in
     RunOutcome outcome = Executor::Execute(*run, /*baseline=*/nullptr);
     Executor::AccumulateBaseline(run->cluster().logs(), &result.baseline);
     ++result.iterations;
+    if (instrument) {
+      ++result.instrumented_runs;
+    }
 
     if (iteration == 0) {
       result.normal_duration_ms = outcome.virtual_duration_ms;

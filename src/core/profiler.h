@@ -26,6 +26,10 @@ struct ProfileResult {
   OracleBaseline baseline;
   ctsim::Time normal_duration_ms = 0;  // fault-free runtime at default size
   int iterations = 0;
+  // Runs that actually carried instrumentation (tracer in kProfile). With no
+  // points to instrument the workload executes tracer-off, so a static-only
+  // pipeline can prove it ran zero profiling workloads.
+  int instrumented_runs = 0;
   // Logs of the default-size run, input to offline log analysis.
   std::vector<ctlog::Instance> default_run_logs;
 };

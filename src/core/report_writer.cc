@@ -47,6 +47,12 @@ std::string ReportToMarkdown(const SystemReport& report) {
       << " (pruned: " << report.pruned_constructor << " constructor-only, "
       << report.pruned_unused << " unused, " << report.pruned_sanity_checked
       << " sanity-checked). Dynamic crash points: " << report.dynamic_crash_points << ".\n\n";
+  if (report.static_contexts > 0) {
+    out << "Static contexts in use: " << report.static_contexts << " ("
+        << report.static_unreachable_points << " points unreachable, "
+        << report.static_infeasible_points << " infeasible, "
+        << report.static_pruned_call_strings << " call strings pruned).\n\n";
+  }
   out << "Times: analysis " << report.analysis_wall_seconds << " s wall, profiling "
       << report.profile_virtual_seconds << " virtual s, testing " << report.test_virtual_hours
       << " virtual h (" << report.test_wall_seconds << " s wall).\n\n";
@@ -88,6 +94,13 @@ std::string ReportToJson(const SystemReport& report) {
   out << "\"pruned\":{\"constructor\":" << report.pruned_constructor
       << ",\"unused\":" << report.pruned_unused
       << ",\"sanity_checked\":" << report.pruned_sanity_checked << "},";
+  out << "\"static_analysis\":{\"contexts\":" << report.static_contexts
+      << ",\"unreachable_points\":" << report.static_unreachable_points
+      << ",\"infeasible_points\":" << report.static_infeasible_points
+      << ",\"pruned_call_strings\":" << report.static_pruned_call_strings << "},";
+  out << "\"profile\":{\"iterations\":" << report.profile.iterations
+      << ",\"instrumented_runs\":" << report.profile.instrumented_runs
+      << ",\"dynamic_points\":" << report.profile.dynamic_access_points.size() << "},";
   out << "\"times\":{\"analysis_wall_s\":" << report.analysis_wall_seconds
       << ",\"test_wall_s\":" << report.test_wall_seconds
       << ",\"profile_virtual_s\":" << report.profile_virtual_seconds

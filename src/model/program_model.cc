@@ -48,6 +48,10 @@ int ProgramModel::AddIoPoint(IoPointDecl point) {
   return io_points_.back().id;
 }
 
+void ProgramModel::AddMultiCrashPair(MultiCrashPairDecl pair) {
+  multi_crash_pairs_.push_back(std::move(pair));
+}
+
 const TypeDecl* ProgramModel::FindType(const std::string& name) const {
   auto it = type_index_.find(name);
   return it == type_index_.end() ? nullptr : &types_[it->second];

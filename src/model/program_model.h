@@ -123,6 +123,17 @@ struct IoPointDecl {
   bool executable = false;
 };
 
+// A model-declared multi-crash scenario: crash at the first access point,
+// then re-arm and crash at the second during the recovery it started. These
+// are hypotheses the system authors consider worth the quadratic search;
+// ctlint's static-pair-unreachable check verifies both points are actually
+// armable (executable, with statically reachable anchors).
+struct MultiCrashPairDecl {
+  int first_point = -1;
+  int second_point = -1;
+  std::string note;  // the recovery window the pair targets
+};
+
 class ProgramModel {
  public:
   explicit ProgramModel(std::string system_name) : system_name_(std::move(system_name)) {}
@@ -139,6 +150,7 @@ class ProgramModel {
   void BindLog(LogBinding binding);
   void AddIoMethod(IoMethodDecl method);
   int AddIoPoint(IoPointDecl point);
+  void AddMultiCrashPair(MultiCrashPairDecl pair);
 
   // --- Queries -------------------------------------------------------------
   const TypeDecl* FindType(const std::string& name) const;
@@ -172,6 +184,7 @@ class ProgramModel {
   const std::vector<LogBinding>& log_bindings() const { return log_bindings_; }
   const std::vector<IoMethodDecl>& io_methods() const { return io_methods_; }
   const std::vector<IoPointDecl>& io_points() const { return io_points_; }
+  const std::vector<MultiCrashPairDecl>& multi_crash_pairs() const { return multi_crash_pairs_; }
 
   // Table 10 / Table 8 totals.
   int NumTypes() const { return static_cast<int>(types_.size()); }
@@ -182,6 +195,7 @@ class ProgramModel {
   int NumIoClasses() const;
   int NumIoMethods() const { return static_cast<int>(io_methods_.size()); }
   int NumIoPoints() const { return static_cast<int>(io_points_.size()); }
+  int NumMultiCrashPairs() const { return static_cast<int>(multi_crash_pairs_.size()); }
 
  private:
   std::string system_name_;
@@ -196,6 +210,7 @@ class ProgramModel {
   std::vector<LogBinding> log_bindings_;
   std::vector<IoMethodDecl> io_methods_;
   std::vector<IoPointDecl> io_points_;
+  std::vector<MultiCrashPairDecl> multi_crash_pairs_;
 };
 
 }  // namespace ctmodel

@@ -148,6 +148,17 @@ CassArtifacts* Build() {
   spec.holders_per_metainfo_type = 5;
   spec.seed = 0xca;
   ctmodel::PopulateCatalog(&model, spec);
+
+  // Multi-crash hypotheses: a second peer dies while gossip/hints are still
+  // converging on the first death.
+  model.AddMultiCrashPair(
+      {artifacts->points.coordinator_ring_read, artifacts->points.gossip_state_write,
+       "replica lost under the coordinator's ring read (CA-15131), second peer lost "
+       "while gossip is still propagating the first death"});
+  model.AddMultiCrashPair(
+      {artifacts->points.gossip_state_write, artifacts->points.hint_store_write,
+       "peer lost during a gossip state update, hint target lost while hints for the "
+       "first death are being stored"});
   return artifacts;
 }
 

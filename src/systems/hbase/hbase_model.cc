@@ -191,6 +191,17 @@ HBaseArtifacts* Build() {
   spec.holders_per_metainfo_type = 4;
   spec.seed = 0xb5;
   ctmodel::PopulateCatalog(&model, spec);
+
+  // Multi-crash hypotheses: a second RegionServer (or the fresh master) dies
+  // while the cluster is still reassigning after the first crash.
+  model.AddMultiCrashPair(
+      {artifacts->points.master_online_write, artifacts->points.master_activate_read,
+       "RS lost as the master records it online, master itself lost so the backup "
+       "activates over the half-updated server list (HBASE-22041 then HBASE-22017)"});
+  model.AddMultiCrashPair(
+      {artifacts->points.master_balancer_read, artifacts->points.rs_open_rebalance_write,
+       "RS lost under the balancer's region scan, destination RS lost while opening "
+       "the moved region (HBASE-22050 stuck-region window)"});
   return artifacts;
 }
 

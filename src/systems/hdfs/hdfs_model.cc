@@ -192,6 +192,17 @@ HdfsArtifacts* Build() {
   spec.holders_per_metainfo_type = 3;
   spec.seed = 0xd5;
   ctmodel::PopulateCatalog(&model, spec);
+
+  // Multi-crash hypotheses: a second DataNode dies while the NameNode is
+  // still recovering from the first loss (ctlint keeps each pair armable).
+  model.AddMultiCrashPair(
+      {artifacts->points.nn_pick_target_read, artifacts->points.nn_block_location_read,
+       "DN lost under block placement, second DN lost while a reader resolves the "
+       "relocated block (both HDFS-14216 paths in one recovery)"});
+  model.AddMultiCrashPair(
+      {artifacts->points.nn_register_dn_write, artifacts->points.dn_block_report_read,
+       "DN lost right after registering, replacement DN stopped mid block report "
+       "(HDFS-14372 window during re-replication)"});
   return artifacts;
 }
 

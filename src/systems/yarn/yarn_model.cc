@@ -588,6 +588,25 @@ void BuildCatalog(ProgramModel* model) {
   PopulateCatalog(model, spec);
 }
 
+// Multi-crash hypotheses (§6 future work): crash at the first point, then
+// crash again at the second during the recovery the first crash started.
+// ctlint's static-pair-unreachable check keeps every pair armable.
+void BuildMultiCrashPairs(YarnArtifacts* artifacts) {
+  const YarnPoints& p = artifacts->points;
+  artifacts->model.AddMultiCrashPair(
+      {p.rm_container_progress_read, p.rm_container_finishing_read,
+       "NM lost mid progress update, second NM lost while the attempt drains FINISHING "
+       "(both YARN-8650 windows in one recovery)"});
+  artifacts->model.AddMultiCrashPair(
+      {p.rm_app_status_read, p.rm_release_attempt_read,
+       "AM host lost under the status poller, replacement host lost during the release "
+       "that follows (YARN-9194 then YARN-9248)"});
+  artifacts->model.AddMultiCrashPair(
+      {p.rm_register_node_write, p.rm_allocate_node_candidate,
+       "node lost right after re-registration, second node lost on the opportunistic "
+       "allocation path it was feeding (YARN-9193 window)"});
+}
+
 YarnArtifacts* BuildArtifacts(YarnMode mode) {
   auto* artifacts = new YarnArtifacts();
   artifacts->mode = mode;
@@ -600,6 +619,7 @@ YarnArtifacts* BuildArtifacts(YarnMode mode) {
   BuildMethods(&artifacts->model);
   BuildIoPoints(artifacts);
   BuildCatalog(&artifacts->model);
+  BuildMultiCrashPairs(artifacts);
   return artifacts;
 }
 

@@ -176,6 +176,17 @@ ZkArtifacts* Build() {
   spec.holders_per_metainfo_type = 2;
   spec.seed = 0x2b;
   ctmodel::PopulateCatalog(&model, spec);
+
+  // Multi-crash hypotheses: the second crash lands during the leader election
+  // or view change the first crash triggered.
+  model.AddMultiCrashPair(
+      {artifacts->points.leader_session_read, artifacts->points.leader_ref_read,
+       "leader lost on the session write path, new leader lost while a follower "
+       "forwards to it mid election recovery"});
+  model.AddMultiCrashPair(
+      {artifacts->points.znode_create_write, artifacts->points.quorum_member_write,
+       "participant lost right after a znode commit, second participant lost during "
+       "the quorum view update, probing quorum loss handling"});
   return artifacts;
 }
 

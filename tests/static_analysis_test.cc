@@ -132,6 +132,69 @@ TEST(ContextEnumeration, DepthBoundAdmitsTruncatedStrings) {
   EXPECT_TRUE(enumeration.EnumerateMethod("Server.leaf", 0).empty());
 }
 
+TEST(CallGraph, FeasibleRootsRequireReachability) {
+  // An async edge from an unreachable scheduler makes its callee a context
+  // root, but no workload can ever give birth to a stack there.
+  ProgramModel model = TinyModel();
+  DeclareMethod(&model, "Server", "orphanScheduler");  // no entry, no callers
+  DeclareMethod(&model, "Server", "orphanWorker");
+  model.AddCallEdge({"Server.orphanScheduler", "Server.orphanWorker", CallKind::kAsync});
+  CallGraph graph(model);
+  EXPECT_TRUE(graph.IsContextRoot("Server.orphanWorker"));
+  EXPECT_FALSE(graph.IsFeasibleRoot("Server.orphanWorker"));
+  EXPECT_TRUE(graph.IsFeasibleRoot("Server.rpc"));
+  EXPECT_TRUE(graph.IsFeasibleRoot("Server.worker"));
+  // The sync closure descends from feasible roots only.
+  EXPECT_TRUE(graph.IsSyncReachableFromFeasibleRoot("Server.leaf"));
+  EXPECT_FALSE(graph.IsSyncReachableFromFeasibleRoot("Server.orphanWorker"));
+}
+
+TEST(ContextEnumeration, PruneDropsStringsRootedAtInfeasibleRoots) {
+  ProgramModel model = TinyModel();
+  DeclareMethod(&model, "Server", "orphanScheduler");
+  DeclareMethod(&model, "Server", "orphanWorker");
+  model.AddCallEdge({"Server.orphanScheduler", "Server.orphanWorker", CallKind::kAsync});
+  // The orphan worker also calls leaf synchronously: leaf now has a second
+  // caller chain, but one no workload can realize.
+  model.AddCallEdge({"Server.orphanWorker", "Server.leaf", CallKind::kStatic});
+  CallGraph graph(model);
+  ContextEnumeration enumeration(&graph);
+  std::set<std::string> unpruned = enumeration.EnumerateMethod("Server.leaf", 5);
+  EXPECT_EQ(unpruned.count("Server.leaf<Server.orphanWorker"), 1u);
+  std::set<std::string> pruned =
+      enumeration.EnumerateMethod("Server.leaf", 5, /*prune_infeasible=*/true);
+  EXPECT_EQ(pruned.count("Server.leaf<Server.orphanWorker"), 0u);
+  // The realizable string survives the prune untouched.
+  EXPECT_EQ(pruned.count("Server.leaf<Server.helper<Server.rpc"), 1u);
+  EXPECT_FALSE(enumeration.IsFeasibleKey("Server.leaf<Server.orphanWorker", 5));
+  EXPECT_TRUE(enumeration.IsFeasibleKey("Server.leaf<Server.helper<Server.rpc", 5));
+}
+
+TEST(ContextEnumeration, TruncatedStringsPrunedOutsideSyncClosure) {
+  // A 5-deep chain hanging off an infeasible root: its depth-truncated
+  // strings end at methods outside the feasible sync closure and are pruned.
+  ProgramModel model("truncation");
+  DeclareMethod(&model, "S", "entry", /*entry=*/true);
+  for (const char* name : {"a", "b", "c", "d", "e", "f"}) {
+    DeclareMethod(&model, "S", name);
+  }
+  // entry -> a; dead root chain f -> b -> c -> d -> e -> a (f unreachable).
+  model.AddCallEdge({"S.entry", "S.a", CallKind::kStatic});
+  model.AddCallEdge({"S.f", "S.b", CallKind::kStatic});
+  model.AddCallEdge({"S.b", "S.c", CallKind::kStatic});
+  model.AddCallEdge({"S.c", "S.d", CallKind::kStatic});
+  model.AddCallEdge({"S.d", "S.e", CallKind::kStatic});
+  model.AddCallEdge({"S.e", "S.a", CallKind::kStatic});
+  CallGraph graph(model);
+  ContextEnumeration enumeration(&graph);
+  std::set<std::string> unpruned = enumeration.EnumerateMethod("S.a", 5);
+  // Truncated 5-frame window through the dead chain is admitted unpruned...
+  EXPECT_EQ(unpruned.count("S.a<S.e<S.d<S.c<S.b"), 1u);
+  // ...but pruned: S.b is not in the sync closure of any feasible root.
+  std::set<std::string> pruned = enumeration.EnumerateMethod("S.a", 5, true);
+  EXPECT_EQ(pruned, (std::set<std::string>{"S.a<S.entry"}));
+}
+
 TEST(ContextEnumeration, ContextMethodOverridesDeclaredAnchor) {
   ProgramModel model = TinyModel();
   ctmodel::FieldDecl field;
@@ -254,6 +317,43 @@ TEST(ModelLint, FlagsDeliberatelyBrokenModel) {
   EXPECT_EQ(result.CountOf("method-less-class"), 1);
   EXPECT_EQ(result.CountOf("dangling-edge"), 1);
   EXPECT_EQ(result.CountOf("unreachable-point"), 1);
+}
+
+TEST(ModelLint, FlagsUnarmableMultiCrashPairs) {
+  ProgramModel model = TinyModel();
+  ctmodel::FieldDecl field;
+  field.clazz = "Server";
+  field.name = "state";
+  field.type = "java.lang.String";
+  model.AddField(field);
+
+  AccessPointDecl reachable;
+  reachable.field_id = "Server.state";
+  reachable.kind = AccessKind::kRead;
+  reachable.clazz = "Server";
+  reachable.method = "leaf";
+  reachable.executable = true;
+  int reachable_id = model.AddAccessPoint(reachable);
+
+  DeclareMethod(&model, "Server", "deadPath");  // no entry point reaches it
+  AccessPointDecl unreachable = reachable;
+  unreachable.method = "deadPath";
+  int unreachable_id = model.AddAccessPoint(unreachable);
+
+  AccessPointDecl catalog_only = reachable;
+  catalog_only.executable = false;
+  catalog_only.synthetic = true;
+  int catalog_id = model.AddAccessPoint(catalog_only);
+
+  model.AddMultiCrashPair({reachable_id, reachable_id, "armable both ways"});
+  model.AddMultiCrashPair({reachable_id, unreachable_id, "second point unreachable"});
+  model.AddMultiCrashPair({reachable_id, catalog_id, "second point not executable"});
+  model.AddMultiCrashPair({reachable_id, 99, "second point id out of range"});
+
+  LintResult result = LintModel(model);
+  EXPECT_EQ(result.CountOf("static-pair-unreachable"), 3);
+  ProgramModel clean = TinyModel();
+  EXPECT_EQ(LintModel(clean).CountOf("static-pair-unreachable"), 0);
 }
 
 TEST(ModelLint, VirtualEdgeWithNoDispatchTargetIsDangling) {

@@ -21,6 +21,9 @@ cmake -B build -S . -DCRASHTUNER_WERROR=ON
 cmake --build build -j "$jobs"
 
 echo "== stage 2: tests =="
+# Includes the static/profiled differential suite, the context-enumeration
+# property tests, and the golden-report regression (and again under both
+# sanitizer builds in stages 5-6).
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo "== stage 3: model lint =="
@@ -33,6 +36,15 @@ echo "== stage 4: parallel campaign smoke (jobs=1 vs jobs=hw) =="
 # this smoke only has to prove the parallel path runs outside the tests.
 ./build/bench/bench_table5_new_bugs --speedup --jobs 0 --json build/BENCH_parallel.json \
   | tail -n 12
+
+echo "== stage 4b: static multi-crash smoke (pair-set precision/recall) =="
+# Cross-checks the statically enumerated multi-crash pair set against the
+# profiled pair set on every system and leaves the per-system precision/recall
+# table in BENCH_static_multicrash.json. The differential test suite enforces
+# 100% recall; this smoke records the numbers and proves the static-only
+# pipeline runs zero instrumented workloads outside the tests.
+./build/bench/bench_multicrash --static-only --json build/BENCH_static_multicrash.json \
+  | tail -n 10
 
 if [[ "$skip_sanitizers" == 1 ]]; then
   echo "== stages 5-6: sanitizers skipped =="

@@ -38,11 +38,15 @@ int LintOne(const ctmodel::ProgramModel& model, bool summary) {
     ctanalysis::CallGraph graph(model);
     ctanalysis::ContextEnumeration enumeration(&graph);
     ctanalysis::StaticContextResult contexts = enumeration.EnumerateAll(5);
+    ctanalysis::StaticContextResult feasible =
+        enumeration.EnumerateAll(5, /*prune_infeasible=*/true);
     std::printf("  methods=%d edges=%d(resolved %d) reachable=%zu "
-                "contexts@5=%d unreachable-points=%zu\n",
+                "contexts@5=%d unreachable-points=%zu "
+                "feasible@5=%d cs-pruned=%d multi-crash-pairs=%d\n",
                 model.NumMethods(), model.NumCallEdges(), graph.num_resolved_edges(),
                 graph.reachable().size(), contexts.TotalContexts(),
-                contexts.unreachable_points.size());
+                contexts.unreachable_points.size(), feasible.TotalContexts(),
+                feasible.pruned_call_strings, model.NumMultiCrashPairs());
   }
   return result.ok() ? 0 : 1;
 }
