@@ -170,6 +170,38 @@ LintResult LintModel(const ctmodel::ProgramModel& model) {
     }
   }
 
+  // Declared network-fault windows must be triggerable: an armable anchor
+  // point (in range, executable, statically reachable), a positive partition
+  // window, and a bug id giving the window its ground truth.
+  for (size_t i = 0; i < model.network_fault_windows().size(); ++i) {
+    const ctmodel::NetworkFaultWindowDecl& window = model.network_fault_windows()[i];
+    const std::string subject =
+        "netwindow#" + std::to_string(i) + " (point " + std::to_string(window.point) + ")";
+    if (window.partition_ms == 0) {
+      report("network-window-invalid", subject,
+             "partition window is zero — the heal coincides with the cut");
+    }
+    if (window.bug_id.empty()) {
+      report("network-window-invalid", subject,
+             "no bug id — the window declares no ground truth to assert");
+    }
+    if (window.point < 0 || window.point >= num_points) {
+      report("network-window-invalid", subject, "anchor point id is out of range");
+      continue;
+    }
+    const ctmodel::AccessPointDecl& point = model.access_point(window.point);
+    if (!point.executable) {
+      report("network-window-invalid", subject,
+             "anchor point " + PointSubject(point) + " is not executable — no runtime hook to arm");
+      continue;
+    }
+    const std::string anchor = ctmodel::ProgramModel::ContextMethodOf(point);
+    if (!graph.IsReachable(anchor)) {
+      report("network-window-invalid", subject,
+             "anchor '" + anchor + "' is unreachable from every entry point");
+    }
+  }
+
   // IO points get the same treatment as access points: their method pair must
   // be declared, and executable callsites must be declared, reachable methods.
   std::set<std::pair<std::string, std::string>> declared_io_methods;

@@ -34,6 +34,13 @@
 //                        point, or (chiefly) a second point whose anchor the
 //                        call graph cannot reach — the re-armed trigger would
 //                        never fire and the declared scenario is untestable
+//   network-window-invalid
+//                        model-declared network-fault window that cannot
+//                        trigger: an out-of-range, non-executable, or
+//                        unreachable anchor point; a zero partition window
+//                        (the heal coincides with the cut and nothing is ever
+//                        dropped); or an empty bug id (the window would have
+//                        no ground truth to assert against)
 //
 // `tools/ctlint` runs this over all five shipped models in CI.
 #ifndef SRC_ANALYSIS_MODEL_LINT_H_

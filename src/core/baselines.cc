@@ -7,6 +7,7 @@
 #include "src/common/strings.h"
 #include "src/core/campaign.h"
 #include "src/sim/exception.h"
+#include "src/sim/fault_plan.h"
 
 namespace ctcore {
 
@@ -121,6 +122,7 @@ BaselineReport RandomCrashInjector::Run(const SystemUnderTest& system, int trial
     ctsim::Cluster& cluster = run->cluster();
 
     BaselineTrial trial;
+    trial.trial_index = t;
     trial.crash_time_ms = plans[static_cast<size_t>(t)].crash_time_ms;
     std::vector<std::string> ids;
     for (ctsim::Node* node : cluster.nodes()) {
@@ -133,6 +135,79 @@ BaselineReport RandomCrashInjector::Run(const SystemUnderTest& system, int trial
     trial.injected = true;
     cluster.loop().ScheduleAt(trial.crash_time_ms,
                               [&cluster, node = trial.target_node] { cluster.Crash(node); });
+
+    trial.outcome = Executor::Execute(*run, &calibration.baseline);
+    return trial;
+  });
+
+  uint64_t total_virtual_ms = calibration.normal_duration_ms;
+  std::vector<BaselineTrial> failing;
+  for (const BaselineTrial& trial : results) {
+    total_virtual_ms += trial.outcome.virtual_duration_ms;
+    if (trial.outcome.IsBug()) {
+      failing.push_back(trial);
+    }
+  }
+  report.virtual_hours = static_cast<double>(total_virtual_ms) / 3'600'000.0;
+  report.failing_trials = failing;
+  report.bugs = TriageBaselineBugs(system, failing);
+  return report;
+}
+
+BaselineReport NetworkRandomInjector::Run(const SystemUnderTest& system, int trials,
+                                          uint64_t seed, int jobs) const {
+  BaselineReport report;
+  report.system = system.name();
+  report.approach = "network-random";
+  report.trials = trials;
+
+  Calibration calibration = Calibrate(system, seed);
+
+  // Pre-draw (cut time, victim, window) per trial in trial order, as the
+  // random crash baseline does, so any jobs count yields the same report.
+  // The window is drawn blind, uniform over the fault-free runtime: without
+  // meta-info the baseline knows nothing about failure-detector scales, so
+  // most draws are too short to outlast an expiry or so long that recovery
+  // settles before the heal — that miss rate is what the baseline measures.
+  struct Plan {
+    ctsim::Time cut_time_ms = 0;
+    uint64_t target_index = 0;
+    ctsim::Time partition_ms = 0;
+  };
+  ctcommon::Rng rng(seed ^ 0x6e657264);
+  std::vector<Plan> plans;
+  plans.reserve(static_cast<size_t>(std::max(trials, 0)));
+  for (int t = 0; t < trials; ++t) {
+    Plan plan;
+    plan.cut_time_ms = rng.Uniform(0, calibration.normal_duration_ms);
+    plan.target_index = rng.Index(calibration.eligible_nodes.size());
+    plan.partition_ms = rng.Uniform(50, calibration.normal_duration_ms);
+    plans.push_back(plan);
+  }
+
+  CampaignEngine engine(jobs);
+  std::vector<BaselineTrial> results = engine.Map(trials, [&](int t) {
+    const Plan& plan = plans[static_cast<size_t>(t)];
+    auto run = system.NewRun(system.default_workload_size(), seed + 7919ull * (t + 1));
+    ctsim::Cluster& cluster = run->cluster();
+
+    BaselineTrial trial;
+    trial.trial_index = t;
+    trial.crash_time_ms = plan.cut_time_ms;
+    trial.partition_ms = plan.partition_ms;
+    std::vector<std::string> ids;
+    for (ctsim::Node* node : cluster.nodes()) {
+      if (!node->workload_driver()) {
+        ids.push_back(node->id());
+      }
+    }
+    CT_CHECK(ids.size() == calibration.eligible_nodes.size());
+    trial.target_node = ids[plan.target_index];
+    trial.injected = true;
+    ctsim::FaultPlan fault_plan;
+    fault_plan.partitions.push_back(
+        {plan.cut_time_ms, plan.cut_time_ms + plan.partition_ms, {trial.target_node}});
+    cluster.InstallFaultPlan(fault_plan);
 
     trial.outcome = Executor::Execute(*run, &calibration.baseline);
     return trial;
@@ -195,6 +270,7 @@ BaselineReport IoFaultInjector::Run(const SystemUnderTest& system, uint64_t seed
         ctsim::Cluster& cluster = run->cluster();
 
         BaselineTrial trial;
+        trial.trial_index = i;
         trial.io_point = task.point;
         trial.io_before = task.before;
         ctrt::AccessTracer& tracer = run->context().tracer();

@@ -8,6 +8,13 @@
 // read*/write*/flush*/close* methods on Closeable classes, with calling
 // context) and inject a crash of the executing node before and after each
 // (§4.2.2, Tables 8-9).
+//
+// NetworkRandomInjector: the network-fault analogue of the random crash
+// baseline — each trial partitions one randomly chosen node off the rest of
+// the cluster at a uniformly random virtual time, healing after a uniformly
+// random window. The unguided counterpart of the driver's
+// InjectionMode::kNetworkFault: it shows how many blind partition trials the
+// seeded message races cost without meta-info windows.
 #ifndef SRC_CORE_BASELINES_H_
 #define SRC_CORE_BASELINES_H_
 
@@ -24,10 +31,13 @@ namespace ctcore {
 
 struct BaselineTrial {
   bool injected = false;
+  int trial_index = 0;  // position in the campaign's trial order
   std::string target_node;
   RunOutcome outcome;
-  // Random baseline: when/who; IO baseline: which dynamic point/side.
+  // Random baseline: when/who; IO baseline: which dynamic point/side;
+  // network-random baseline: when/who plus how long the cut lasted.
   ctsim::Time crash_time_ms = 0;
+  ctsim::Time partition_ms = 0;
   ctrt::DynamicPoint io_point;
   bool io_before = true;
 };
@@ -58,6 +68,11 @@ class RandomCrashInjector {
 class IoFaultInjector {
  public:
   BaselineReport Run(const SystemUnderTest& system, uint64_t seed, int jobs = 1) const;
+};
+
+class NetworkRandomInjector {
+ public:
+  BaselineReport Run(const SystemUnderTest& system, int trials, uint64_t seed, int jobs = 1) const;
 };
 
 // Shared triage: converts failing baseline trials into deduplicated bugs

@@ -74,7 +74,10 @@ std::vector<DetectedBug> TriageBugs(const SystemUnderTest& system,
     if (inserted) {
       bug.location = injection.location;
       bug.scenario =
-          injection.kind == ctanalysis::CrashPointKind::kPreRead ? "pre-read" : "post-write";
+          injection.mode == InjectionMode::kNetworkFault
+              ? "network-fault"
+              : (injection.kind == ctanalysis::CrashPointKind::kPreRead ? "pre-read"
+                                                                        : "post-write");
       bug.symptom = injection.outcome.PrimarySymptom();
       bug.sample_outcome = injection.outcome;
       if (matched != nullptr) {
@@ -194,6 +197,16 @@ SystemReport CrashTunerDriver::Run(const SystemUnderTest& system,
   ctlog::OnlineFilter filter = log_analysis.MakeOnlineFilter(report.log_result);
   FaultInjectionTester tester(&system, &report.crash_points, filter, report.profile.baseline,
                               report.profile.normal_duration_ms, options.pre_read_wait_ms);
+  tester.set_injection_mode(options.injection_mode);
+  if (options.injection_mode == InjectionMode::kNetworkFault) {
+    std::map<int, ctsim::Time> windows;
+    for (const auto& window : model.network_fault_windows()) {
+      windows[window.point] = static_cast<ctsim::Time>(window.partition_ms);
+    }
+    tester.ConfigureNetworkWindows(std::move(windows), options.network_partition_ms);
+  }
+  tester.set_record_store(options.record_traces);
+  tester.set_replay_store(options.replay_traces);
   auto test_wall_start = std::chrono::steady_clock::now();
   report.injections = tester.TestAll(report.profile, options.seed + 1000, options.jobs);
   report.test_wall_seconds =
@@ -212,6 +225,18 @@ SystemReport CrashTunerDriver::Run(const SystemUnderTest& system,
   report.pruned_constructor = report.crash_points.pruned_constructor;
   report.pruned_unused = report.crash_points.pruned_unused;
   report.pruned_sanity_checked = report.crash_points.pruned_sanity_checked;
+
+  // Campaign fingerprint: FNV-1a mix of the per-run trace hashes in
+  // injection (index) order, so it is jobs-count independent like everything
+  // else in the report.
+  uint64_t combined = 1469598103934665603ull;
+  for (const auto& injection : report.injections) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      combined ^= (injection.trace_hash >> shift) & 0xffull;
+      combined *= 1099511628211ull;
+    }
+  }
+  report.trace_hash = report.injections.empty() ? 0 : combined;
 
   report.bugs = TriageBugs(system, report.injections);
   for (const auto& injection : report.injections) {

@@ -71,6 +71,11 @@ struct SystemReport {
   int static_pruned_call_strings = 0;  // individual strings removed by feasibility
   ctanalysis::ContextCrossCheck context_check;  // vs the profiled set (kStaticSeeded)
 
+  // Combined FNV-1a mix of the per-injection trace hashes, in injection
+  // order: a fingerprint of every event the campaign scheduled. Two reports
+  // with equal trace hashes ran schedule-identical campaigns.
+  uint64_t trace_hash = 0;
+
   ctanalysis::LogAnalysisResult log_result;
   ctanalysis::MetaInfoResult metainfo;
   ctanalysis::CrashPointResult crash_points;
@@ -113,6 +118,20 @@ struct DriverOptions {
   // logs never print (the HBASE-13546 / YARN-4502 class of misses).
   std::set<std::string> annotated_seed_types;
   std::set<std::string> annotated_seed_fields;
+  // What Phase 2 does at each armed point: crash/shutdown the resolved node
+  // (the paper's trigger) or partition-and-heal it (network-fault mode,
+  // targeting message races). Network mode takes each point's partition
+  // window from the model's declared network-fault windows, falling back to
+  // network_partition_ms — which must outlast every system's failure
+  // detector for the heal to race recovered state.
+  InjectionMode injection_mode = InjectionMode::kCrash;
+  ctsim::Time network_partition_ms = 2500;
+  // Campaign trace record/replay (either may be null). With record_traces,
+  // every Phase-2 run stores its event trace by injection index; with
+  // replay_traces, every run is verified event-by-event against the stored
+  // trace and the driver throws ctsim::TraceDivergence on any departure.
+  TraceStore* record_traces = nullptr;
+  const TraceStore* replay_traces = nullptr;
 };
 
 class CrashTunerDriver {

@@ -34,6 +34,16 @@ std::string JsonEscape(const std::string& text) {
   return out;
 }
 
+namespace {
+
+std::string TraceHashHex(uint64_t hash) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx", static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+}  // namespace
+
 std::string ReportToMarkdown(const SystemReport& report) {
   std::ostringstream out;
   out << "# CrashTuner report — " << report.system << "\n\n";
@@ -56,6 +66,7 @@ std::string ReportToMarkdown(const SystemReport& report) {
   out << "Times: analysis " << report.analysis_wall_seconds << " s wall, profiling "
       << report.profile_virtual_seconds << " virtual s, testing " << report.test_virtual_hours
       << " virtual h (" << report.test_wall_seconds << " s wall).\n\n";
+  out << "Campaign trace hash: " << TraceHashHex(report.trace_hash) << ".\n\n";
   out << "## Detected bugs\n\n";
   if (report.bugs.empty()) {
     out << "None.\n";
@@ -105,6 +116,7 @@ std::string ReportToJson(const SystemReport& report) {
       << ",\"test_wall_s\":" << report.test_wall_seconds
       << ",\"profile_virtual_s\":" << report.profile_virtual_seconds
       << ",\"test_virtual_h\":" << report.test_virtual_hours << "},";
+  out << "\"trace_hash\":\"" << TraceHashHex(report.trace_hash) << "\",";
   out << "\"bugs\":[";
   for (size_t i = 0; i < report.bugs.size(); ++i) {
     const auto& bug = report.bugs[i];

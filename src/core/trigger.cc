@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <string>
 
 #include "src/core/campaign.h"
 #include "src/sim/exception.h"
@@ -9,10 +10,12 @@
 namespace ctcore {
 
 InjectionResult FaultInjectionTester::TestPoint(const ctrt::DynamicPoint& point,
-                                                ctanalysis::CrashPointKind kind, uint64_t seed) {
+                                                ctanalysis::CrashPointKind kind, uint64_t seed,
+                                                int trace_slot) {
   InjectionResult result;
   result.point = point;
   result.kind = kind;
+  result.mode = mode_;
   for (const auto& static_point : crash_points_->points) {
     if (static_point.access_point_id == point.point_id) {
       result.location = static_point.location;
@@ -21,8 +24,23 @@ InjectionResult FaultInjectionTester::TestPoint(const ctrt::DynamicPoint& point,
     }
   }
 
+  // Recorder before the run: the cluster holds a raw pointer to it, so it
+  // must outlive the run. Every run is traced (the hash lands in the result);
+  // replay mode additionally verifies each event against the stored trace.
+  const ctsim::Trace* expected = nullptr;
+  if (replay_store_ != nullptr) {
+    expected = replay_store_->Get(trace_slot);
+    if (expected == nullptr) {
+      throw ctsim::TraceDivergence("replay store has no trace for injection slot " +
+                                   std::to_string(trace_slot));
+    }
+  }
+  ctsim::TraceRecorder recorder =
+      expected != nullptr ? ctsim::TraceRecorder(expected) : ctsim::TraceRecorder();
+
   auto run = system_->NewRun(system_->default_workload_size(), seed);
   ctsim::Cluster& cluster = run->cluster();
+  cluster.set_trace_recorder(&recorder);
 
   // Online log analysis: one agent per node feeding the custom stash.
   ctlog::CustomStash stash(filter_);
@@ -54,6 +72,17 @@ InjectionResult FaultInjectionTester::TestPoint(const ctrt::DynamicPoint& point,
     }
     result.injected = true;
     result.target_node = *target;
+    if (mode_ == InjectionMode::kNetworkFault) {
+      // Fault-on-appearance: cut the target off for the window instead of
+      // killing it. The failure detector expires it, recovery starts, then
+      // the heal lets the presumed-dead node's messages race the recovered
+      // state — the handler (and the target) keep running throughout.
+      auto window = network_windows_.find(point.point_id);
+      ctsim::Time partition_ms =
+          window != network_windows_.end() ? window->second : default_partition_ms_;
+      cluster.PartitionNodes({*target}, partition_ms);
+      return;
+    }
     bool killing_current = (*target == cluster.current_node());
     if (kind == ctanalysis::CrashPointKind::kPreRead) {
       // Graceful shutdown lets the cluster learn about the departure without
@@ -75,6 +104,11 @@ InjectionResult FaultInjectionTester::TestPoint(const ctrt::DynamicPoint& point,
   result.outcome = Executor::Execute(*run, &baseline_);
   result.point_hit = result.point_hit || tracer.trigger_fired();
   total_virtual_ms_.fetch_add(result.outcome.virtual_duration_ms, std::memory_order_relaxed);
+  recorder.FinishReplay();  // a recording longer than the run is a divergence
+  result.trace_hash = recorder.trace().Hash();
+  if (record_store_ != nullptr && trace_slot >= 0) {
+    record_store_->Put(trace_slot, recorder.trace());
+  }
   // No reset needed: the tracer — armed trigger and all — dies with the run.
   return result;
 }
@@ -101,7 +135,7 @@ std::vector<InjectionResult> FaultInjectionTester::TestAll(const ProfileResult& 
   CampaignEngine engine(jobs);
   return engine.Map(static_cast<int>(tasks.size()), [&](int i) {
     const Task& task = tasks[static_cast<size_t>(i)];
-    return TestPoint(task.point, task.kind, seed + static_cast<uint64_t>(i));
+    return TestPoint(task.point, task.kind, seed + static_cast<uint64_t>(i), /*trace_slot=*/i);
   });
 }
 

@@ -8,13 +8,22 @@
 //   pre-read:   graceful shutdown of the target followed by a wait window so
 //               the recovery machinery runs before the read proceeds;
 //   post-write: abrupt crash of the target; if the target is the node
-//               executing the handler, the rest of the handler dies with it.
-// The oracle then classifies the run.
+//               executing the handler, the rest of the handler dies with it;
+//   network:    (InjectionMode::kNetworkFault) instead of killing the target,
+//               partition it from the cluster for the declared window and
+//               heal — fault-on-appearance of a meta-info value.
+// The oracle then classifies the run. Every run records an event trace; its
+// hash lands in the result, and a TraceStore enables campaign-level
+// record/replay (replaying a stored trace re-executes the run and verifies
+// every scheduled event against the recording).
 #ifndef SRC_CORE_TRIGGER_H_
 #define SRC_CORE_TRIGGER_H_
 
 #include <atomic>
+#include <map>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/analysis/crash_point_analysis.h"
@@ -23,18 +32,53 @@
 #include "src/core/system_under_test.h"
 #include "src/logging/stash.h"
 #include "src/runtime/tracer.h"
+#include "src/sim/trace.h"
 
 namespace ctcore {
+
+// What the trigger does to the resolved target node.
+enum class InjectionMode {
+  kCrash,         // crash/shutdown per the point kind (the paper's trigger)
+  kNetworkFault,  // transient partition + heal in the same meta-info window
+};
+
+// Thread-safe slot → trace map shared by a campaign's runs: record mode
+// fills it, replay mode reads it. Slots are injection indices, so a store
+// recorded at any jobs count replays at any other.
+class TraceStore {
+ public:
+  void Put(int slot, ctsim::Trace trace) {
+    std::lock_guard<std::mutex> lock(mu_);
+    traces_[slot] = std::move(trace);
+  }
+  // Pointer stays valid until the store is destroyed or the slot overwritten.
+  const ctsim::Trace* Get(int slot) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = traces_.find(slot);
+    return it == traces_.end() ? nullptr : &it->second;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return traces_.size();
+  }
+  std::map<int, ctsim::Trace>& traces() { return traces_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int, ctsim::Trace> traces_;
+};
 
 struct InjectionResult {
   ctrt::DynamicPoint point;
   ctanalysis::CrashPointKind kind = ctanalysis::CrashPointKind::kPreRead;
+  InjectionMode mode = InjectionMode::kCrash;
   std::string location;      // static point location, for triage
   std::string field_id;
   bool point_hit = false;    // the armed dynamic point executed
-  bool injected = false;     // a target node was resolved and killed
+  bool injected = false;     // a target node was resolved and killed/cut off
   std::string target_node;
   std::string accessed_value;
+  uint64_t trace_hash = 0;   // FNV-1a of the run's event trace
   RunOutcome outcome;
 };
 
@@ -55,10 +99,31 @@ class FaultInjectionTester {
         normal_duration_ms_(normal_duration_ms),
         pre_read_wait_ms_(pre_read_wait_ms) {}
 
+  // Switches the trigger between crashing the resolved target (default) and
+  // partitioning it. In network mode the partition window for a point comes
+  // from `windows` (point id → ms, from the model's declared network-fault
+  // windows), falling back to `default_partition_ms`.
+  void set_injection_mode(InjectionMode mode) { mode_ = mode; }
+  void ConfigureNetworkWindows(std::map<int, ctsim::Time> windows,
+                               ctsim::Time default_partition_ms) {
+    network_windows_ = std::move(windows);
+    default_partition_ms_ = default_partition_ms;
+  }
+
+  // Campaign-level record/replay: with a record store, each TestPoint writes
+  // its trace under its slot; with a replay store, each TestPoint verifies
+  // its run event-by-event against the stored trace and throws
+  // ctsim::TraceDivergence on the first departure (including a missing or
+  // truncated recording).
+  void set_record_store(TraceStore* store) { record_store_ = store; }
+  void set_replay_store(const TraceStore* store) { replay_store_ = store; }
+
   // Tests one dynamic crash point; `kind` comes from its static point. Safe
   // to call concurrently: each call owns its run (and the run its tracer).
+  // `trace_slot` keys the record/replay stores (injection index; -1 when the
+  // call is outside a campaign).
   InjectionResult TestPoint(const ctrt::DynamicPoint& point, ctanalysis::CrashPointKind kind,
-                            uint64_t seed);
+                            uint64_t seed, int trace_slot = -1);
 
   // Tests every dynamic crash point in `profile`, one run each, fanned across
   // `jobs` worker threads (see campaign.h). Seeds derive from the injection
@@ -76,6 +141,11 @@ class FaultInjectionTester {
   OracleBaseline baseline_;
   ctsim::Time normal_duration_ms_;
   ctsim::Time pre_read_wait_ms_;
+  InjectionMode mode_ = InjectionMode::kCrash;
+  std::map<int, ctsim::Time> network_windows_;
+  ctsim::Time default_partition_ms_ = 2500;
+  TraceStore* record_store_ = nullptr;
+  const TraceStore* replay_store_ = nullptr;
   // Atomic: concurrent TestPoint calls accumulate into it. Integer addition
   // commutes, so the total is thread-count independent.
   std::atomic<ctsim::Time> total_virtual_ms_{0};

@@ -52,6 +52,10 @@ void ProgramModel::AddMultiCrashPair(MultiCrashPairDecl pair) {
   multi_crash_pairs_.push_back(std::move(pair));
 }
 
+void ProgramModel::AddNetworkFaultWindow(NetworkFaultWindowDecl window) {
+  network_fault_windows_.push_back(std::move(window));
+}
+
 const TypeDecl* ProgramModel::FindType(const std::string& name) const {
   auto it = type_index_.find(name);
   return it == type_index_.end() ? nullptr : &types_[it->second];

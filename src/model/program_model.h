@@ -134,6 +134,20 @@ struct MultiCrashPairDecl {
   std::string note;  // the recovery window the pair targets
 };
 
+// A model-declared network-fault bug window: when the anchor access point
+// fires in network-fault mode, the resolved node is partitioned from the
+// cluster for `partition_ms` (long enough for the failure detector to expire
+// it) and then healed — the message-race variant of crash-on-appearance.
+// `bug_id` names the seeded message-race bug the window is expected to
+// expose; ctlint's network-window-unreachable check verifies the anchor is
+// armable and the window well-formed.
+struct NetworkFaultWindowDecl {
+  int point = -1;            // anchor access point (armed like a crash point)
+  uint64_t partition_ms = 0; // isolation window before the heal
+  std::string bug_id;        // expected message-race bug (known-bug table id)
+  std::string note;          // the race the window targets
+};
+
 class ProgramModel {
  public:
   explicit ProgramModel(std::string system_name) : system_name_(std::move(system_name)) {}
@@ -151,6 +165,7 @@ class ProgramModel {
   void AddIoMethod(IoMethodDecl method);
   int AddIoPoint(IoPointDecl point);
   void AddMultiCrashPair(MultiCrashPairDecl pair);
+  void AddNetworkFaultWindow(NetworkFaultWindowDecl window);
 
   // --- Queries -------------------------------------------------------------
   const TypeDecl* FindType(const std::string& name) const;
@@ -185,6 +200,9 @@ class ProgramModel {
   const std::vector<IoMethodDecl>& io_methods() const { return io_methods_; }
   const std::vector<IoPointDecl>& io_points() const { return io_points_; }
   const std::vector<MultiCrashPairDecl>& multi_crash_pairs() const { return multi_crash_pairs_; }
+  const std::vector<NetworkFaultWindowDecl>& network_fault_windows() const {
+    return network_fault_windows_;
+  }
 
   // Table 10 / Table 8 totals.
   int NumTypes() const { return static_cast<int>(types_.size()); }
@@ -196,6 +214,7 @@ class ProgramModel {
   int NumIoMethods() const { return static_cast<int>(io_methods_.size()); }
   int NumIoPoints() const { return static_cast<int>(io_points_.size()); }
   int NumMultiCrashPairs() const { return static_cast<int>(multi_crash_pairs_.size()); }
+  int NumNetworkFaultWindows() const { return static_cast<int>(network_fault_windows_.size()); }
 
  private:
   std::string system_name_;
@@ -211,6 +230,7 @@ class ProgramModel {
   std::vector<IoMethodDecl> io_methods_;
   std::vector<IoPointDecl> io_points_;
   std::vector<MultiCrashPairDecl> multi_crash_pairs_;
+  std::vector<NetworkFaultWindowDecl> network_fault_windows_;
 };
 
 }  // namespace ctmodel

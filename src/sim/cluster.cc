@@ -6,8 +6,16 @@
 
 namespace ctsim {
 
-Cluster::Cluster(uint64_t seed) : rng_(seed) {
+Cluster::Cluster(uint64_t seed)
+    // The network gets its own stream: fault-plan draws must not shift the
+    // workload RNG, or installing a plan would change the run it perturbs.
+    : rng_(seed), net_rng_(seed ^ 0x6e65742d666c7400ull) {
   loop_.SetOwnerAliveCheck([this](const std::string& owner) { return IsAlive(owner); });
+  loop_.SetTraceHook([this](Time at, const std::string& owner) {
+    if (trace_ != nullptr) {
+      trace_->Record(at, "timer", owner);
+    }
+  });
 }
 
 Cluster::~Cluster() = default;
@@ -60,6 +68,7 @@ void Cluster::StartNode(const std::string& id) {
   if (node == nullptr || node->state() != NodeState::kStopped) {
     return;
   }
+  TraceRecord("start", id);
   std::string previous = current_node_;
   current_node_ = id;
   node->Start();
@@ -77,6 +86,7 @@ void Cluster::Crash(const std::string& id) {
     return;
   }
   ++crash_count_;
+  TraceRecord("crash", id);
   node->MarkCrashed();
 }
 
@@ -86,6 +96,7 @@ void Cluster::Shutdown(const std::string& id) {
     return;
   }
   ++shutdown_count_;
+  TraceRecord("shutdown", id);
   // The shutdown hook runs inside the node's exception boundary: stop-time
   // code can itself raise the exceptions crash-recovery bugs are made of
   // (HDFS-14372's "shutdown before register" abort).
@@ -94,18 +105,101 @@ void Cluster::Shutdown(const std::string& id) {
 }
 
 void Cluster::Post(Message message) {
-  loop_.Schedule(latency_ms_, [this, message = std::move(message)]() {
+  // Fault-plan decisions happen here, at schedule time, against the sender's
+  // clock: a message launched into an active partition is lost even if the
+  // partition would heal before the link latency elapses.
+  if (!partitions_.empty() && LinkCut(message.from, message.to)) {
+    ++plan_dropped_messages_;
+    TraceRecord("drop.partition", message.from + ">" + message.to + " " + message.method);
+    return;
+  }
+  Time delay = latency_ms_;
+  if (has_link_faults_) {
+    const LinkFault& fault = plan_.LinkFor(message.from, message.to);
+    if (fault.drop_probability > 0.0 && net_rng_.Chance(fault.drop_probability)) {
+      ++plan_dropped_messages_;
+      TraceRecord("drop.link", message.from + ">" + message.to + " " + message.method);
+      return;
+    }
+    delay += fault.extra_delay_ms;
+    if (fault.reorder_window_ms > 0) {
+      // Bounded reordering: an extra uniform delay in [0, window] lets later
+      // sends overtake this one by at most the window.
+      delay += net_rng_.Uniform(0, fault.reorder_window_ms);
+    }
+    if (fault.duplicate_probability > 0.0 && net_rng_.Chance(fault.duplicate_probability)) {
+      Time dup_delay = latency_ms_ + fault.extra_delay_ms;
+      if (fault.reorder_window_ms > 0) {
+        dup_delay += net_rng_.Uniform(0, fault.reorder_window_ms);
+      }
+      ++duplicated_messages_;
+      TraceRecord("dup", message.from + ">" + message.to + " " + message.method);
+      ScheduleDelivery(message, dup_delay);
+    }
+  }
+  ScheduleDelivery(std::move(message), delay);
+}
+
+void Cluster::ScheduleDelivery(Message message, Time delay) {
+  loop_.Schedule(delay, [this, message = std::move(message)]() {
     Node* target = Find(message.to);
     if (target == nullptr || !target->IsRunning()) {
+      // A duplicate is subject to the same check, so duplication can never
+      // resurrect a message for a node that died before delivery.
       ++dropped_messages_;
+      TraceRecord("drop.dead", message.from + ">" + message.to + " " + message.method);
       return;
     }
     ++delivered_messages_;
+    TraceRecord("deliver", message.from + ">" + message.to + " " + message.method);
     std::string previous = current_node_;
     current_node_ = message.to;
     target->Dispatch(message);
     current_node_ = previous;
   });
+}
+
+void Cluster::InstallFaultPlan(FaultPlan plan) {
+  plan_ = std::move(plan);
+  has_link_faults_ = !plan_.default_link.Inert() || !plan_.links.empty();
+  for (const auto& directive : plan_.partitions) {
+    partitions_.push_back(directive);
+    std::string members;
+    for (const auto& id : directive.group) {
+      members += (members.empty() ? "" : ",") + id;
+    }
+    TraceRecord("partition", std::to_string(directive.start_ms) + ".." +
+                                 std::to_string(directive.heal_ms) + " " + members);
+  }
+}
+
+void Cluster::PartitionNodes(const std::vector<std::string>& group, Time duration_ms) {
+  PartitionDirective directive;
+  directive.start_ms = loop_.Now();
+  directive.heal_ms = loop_.Now() + duration_ms;
+  directive.group = group;
+  std::string members;
+  for (const auto& id : group) {
+    members += (members.empty() ? "" : ",") + id;
+  }
+  TraceRecord("partition", std::to_string(directive.start_ms) + ".." +
+                               std::to_string(directive.heal_ms) + " " + members);
+  partitions_.push_back(std::move(directive));
+}
+
+bool Cluster::LinkCut(const std::string& from, const std::string& to) const {
+  for (const auto& directive : partitions_) {
+    if (directive.ActiveAt(loop_.Now()) && directive.Separates(from, to)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cluster::TraceRecord(const char* kind, std::string detail) {
+  if (trace_ != nullptr) {
+    trace_->Record(loop_.Now(), kind, std::move(detail));
+  }
 }
 
 void Cluster::MarkClusterDown(const std::string& reason) {
@@ -114,6 +208,7 @@ void Cluster::MarkClusterDown(const std::string& reason) {
   }
   cluster_down_ = true;
   cluster_down_reason_ = reason;
+  TraceRecord("cluster-down", reason);
 }
 
 }  // namespace ctsim

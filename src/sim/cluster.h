@@ -18,8 +18,10 @@
 #include "src/common/rng.h"
 #include "src/logging/log_store.h"
 #include "src/sim/event_loop.h"
+#include "src/sim/fault_plan.h"
 #include "src/sim/message.h"
 #include "src/sim/node.h"
+#include "src/sim/trace.h"
 
 namespace ctsim {
 
@@ -72,6 +74,25 @@ class Cluster {
   Time latency_ms() const { return latency_ms_; }
   void set_latency_ms(Time latency) { latency_ms_ = latency; }
 
+  // Network faults. The plan's stochastic link faults and partition windows
+  // are applied at message-schedule time in Post, drawing from a dedicated
+  // RNG stream forked off the run seed — the workload RNG sees no extra
+  // draws, so installing a plan perturbs nothing but the network.
+  void InstallFaultPlan(FaultPlan plan);
+  const FaultPlan& fault_plan() const { return plan_; }
+  // Dynamically isolates `group` from the rest of the cluster for
+  // `duration_ms` starting now (the trigger's fault-on-appearance primitive).
+  // The heal is the directive expiring; no event is scheduled for it.
+  void PartitionNodes(const std::vector<std::string>& group, Time duration_ms);
+  // True while an active partition directive separates the two nodes.
+  bool LinkCut(const std::string& from, const std::string& to) const;
+
+  // Trace record/replay. When set, every delivery, drop, timer firing, crash,
+  // shutdown, start, and fault directive is recorded (or verified, in replay
+  // mode). The recorder must outlive the run.
+  void set_trace_recorder(TraceRecorder* recorder) { trace_ = recorder; }
+  TraceRecorder* trace_recorder() const { return trace_; }
+
   // Whole-cluster failure flag (e.g. the master aborted).
   void MarkClusterDown(const std::string& reason);
   bool cluster_down() const { return cluster_down_; }
@@ -82,9 +103,13 @@ class Cluster {
   // currently running node.
   const std::string& current_node() const { return current_node_; }
 
-  // Counters for tests and reports.
+  // Counters for tests and reports. dropped_messages() counts only
+  // dead-at-delivery drops; plan-induced drops (link faults and partitions)
+  // are tallied separately in plan_dropped_messages().
   uint64_t delivered_messages() const { return delivered_messages_; }
   uint64_t dropped_messages() const { return dropped_messages_; }
+  uint64_t plan_dropped_messages() const { return plan_dropped_messages_; }
+  uint64_t duplicated_messages() const { return duplicated_messages_; }
   int crash_count() const { return crash_count_; }
   int shutdown_count() const { return shutdown_count_; }
 
@@ -92,18 +117,29 @@ class Cluster {
   friend class Node;
 
   void RegisterNode(std::unique_ptr<Node> node);
+  void ScheduleDelivery(Message message, Time delay);
+  void TraceRecord(const char* kind, std::string detail);
 
   EventLoop loop_;
   ctlog::LogStore logs_;
   ctcommon::Rng rng_;
+  ctcommon::Rng net_rng_;
   std::map<std::string, std::unique_ptr<Node>> nodes_;
   std::vector<std::string> insertion_order_;
   Time latency_ms_ = 1;
   bool cluster_down_ = false;
   std::string cluster_down_reason_;
   std::string current_node_;
+  FaultPlan plan_;
+  bool has_link_faults_ = false;
+  // Active partition windows: the plan's timed directives plus any installed
+  // dynamically via PartitionNodes.
+  std::vector<PartitionDirective> partitions_;
+  TraceRecorder* trace_ = nullptr;
   uint64_t delivered_messages_ = 0;
   uint64_t dropped_messages_ = 0;
+  uint64_t plan_dropped_messages_ = 0;
+  uint64_t duplicated_messages_ = 0;
   int crash_count_ = 0;
   int shutdown_count_ = 0;
 };

@@ -42,6 +42,9 @@ bool EventLoop::PopAndRun(Time limit, bool has_limit) {
       ++skipped_dead_owner_events_;
       continue;
     }
+    if (!event.owner.empty() && trace_hook_) {
+      trace_hook_(now_, event.owner);
+    }
     ++executed_events_;
     event.fn();
     return true;

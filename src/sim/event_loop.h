@@ -46,6 +46,13 @@ class EventLoop {
     alive_check_ = std::move(check);
   }
 
+  // Installed by the cluster; called just before an *owned* event fires
+  // (node timers — deliveries are ownerless and traced by the cluster with
+  // richer detail). Used for trace record/replay.
+  void SetTraceHook(std::function<void(Time, const std::string&)> hook) {
+    trace_hook_ = std::move(hook);
+  }
+
   // Runs a single event if one is pending; advances the clock to it.
   bool RunOne();
 
@@ -90,6 +97,7 @@ class EventLoop {
   uint64_t executed_events_ = 0;
   uint64_t skipped_dead_owner_events_ = 0;
   std::function<bool(const std::string&)> alive_check_;
+  std::function<void(Time, const std::string&)> trace_hook_;
 };
 
 }  // namespace ctsim

@@ -1,0 +1,70 @@
+// Deterministic network-fault plans.
+//
+// A FaultPlan describes how the simulated network misbehaves during one run:
+// per-link message-drop probability, extra delivery delay, duplication,
+// bounded reordering, and timed partition/heal directives. The cluster
+// applies the plan at message-*schedule* time (inside Cluster::Post) using a
+// dedicated RNG stream derived from the run seed, so the same ⟨seed, plan⟩
+// always yields the same schedule — a network fault is as replayable as a
+// crash point.
+#ifndef SRC_SIM_FAULT_PLAN_H_
+#define SRC_SIM_FAULT_PLAN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ctsim {
+
+// Stochastic faults on one directed link (or, via FaultPlan::default_link,
+// on every link at once).
+struct LinkFault {
+  double drop_probability = 0.0;       // message lost at schedule time
+  uint64_t extra_delay_ms = 0;         // added to the base link latency
+  double duplicate_probability = 0.0;  // a second copy is also delivered
+  uint64_t reorder_window_ms = 0;      // extra uniform delay in [0, window]
+
+  bool Inert() const {
+    return drop_probability <= 0.0 && extra_delay_ms == 0 && duplicate_probability <= 0.0 &&
+           reorder_window_ms == 0;
+  }
+};
+
+// Isolates `group` from every node outside it during [start_ms, heal_ms):
+// messages crossing the boundary in either direction are dropped. A heal is
+// simply the directive expiring; nothing needs to be scheduled.
+struct PartitionDirective {
+  uint64_t start_ms = 0;
+  uint64_t heal_ms = 0;  // exclusive; heal_ms <= start_ms means "never active"
+  std::vector<std::string> group;
+
+  bool ActiveAt(uint64_t now) const { return now >= start_ms && now < heal_ms; }
+  bool Separates(const std::string& a, const std::string& b) const {
+    bool a_in = std::find(group.begin(), group.end(), a) != group.end();
+    bool b_in = std::find(group.begin(), group.end(), b) != group.end();
+    return a_in != b_in;
+  }
+};
+
+struct FaultPlan {
+  LinkFault default_link;
+  // Directed (from, to) overrides; a listed link uses its override alone.
+  std::map<std::pair<std::string, std::string>, LinkFault> links;
+  std::vector<PartitionDirective> partitions;
+
+  const LinkFault& LinkFor(const std::string& from, const std::string& to) const {
+    auto it = links.find({from, to});
+    return it == links.end() ? default_link : it->second;
+  }
+
+  bool Empty() const {
+    return default_link.Inert() && links.empty() && partitions.empty();
+  }
+};
+
+}  // namespace ctsim
+
+#endif  // SRC_SIM_FAULT_PLAN_H_

@@ -1,0 +1,99 @@
+#include "src/sim/trace.h"
+
+#include <utility>
+
+namespace ctsim {
+
+namespace {
+
+std::string EventLine(const TraceEvent& event) {
+  return std::to_string(event.at) + " " + event.kind + " " + event.detail + "\n";
+}
+
+}  // namespace
+
+void Trace::Truncate(size_t n) {
+  if (n < events_.size()) {
+    events_.resize(n);
+  }
+}
+
+std::string Trace::Serialize() const {
+  std::string out;
+  for (const auto& event : events_) {
+    out += EventLine(event);
+  }
+  return out;
+}
+
+Trace Trace::Parse(const std::string& text) {
+  Trace trace;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) {
+      continue;
+    }
+    size_t s1 = line.find(' ');
+    if (s1 == std::string::npos) {
+      throw TraceDivergence("trace parse error: malformed line \"" + line + "\"");
+    }
+    size_t s2 = line.find(' ', s1 + 1);
+    TraceEvent event;
+    event.at = std::stoull(line.substr(0, s1));
+    if (s2 == std::string::npos) {
+      event.kind = line.substr(s1 + 1);
+    } else {
+      event.kind = line.substr(s1 + 1, s2 - s1 - 1);
+      event.detail = line.substr(s2 + 1);
+    }
+    trace.Append(std::move(event));
+  }
+  return trace;
+}
+
+uint64_t Trace::Hash() const {
+  // FNV-1a 64-bit over the serialized form.
+  uint64_t hash = 1469598103934665603ull;
+  for (char c : Serialize()) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void TraceRecorder::Record(uint64_t at, const char* kind, std::string detail) {
+  TraceEvent event;
+  event.at = at;
+  event.kind = kind;
+  event.detail = std::move(detail);
+  if (expected_ != nullptr) {
+    size_t index = trace_.size();
+    if (index >= expected_->size()) {
+      throw TraceDivergence("replay diverged at event " + std::to_string(index) +
+                            ": recording exhausted (truncated trace?), run produced \"" +
+                            EventLine(event) + "\"");
+    }
+    const TraceEvent& want = expected_->events()[index];
+    if (!(want == event)) {
+      throw TraceDivergence("replay diverged at event " + std::to_string(index) +
+                            ": recorded \"" + EventLine(want) + "\" but run produced \"" +
+                            EventLine(event) + "\"");
+    }
+  }
+  trace_.Append(std::move(event));
+}
+
+void TraceRecorder::FinishReplay() const {
+  if (expected_ != nullptr && trace_.size() < expected_->size()) {
+    throw TraceDivergence("replay ended after " + std::to_string(trace_.size()) +
+                          " events but the recording has " + std::to_string(expected_->size()));
+  }
+}
+
+}  // namespace ctsim

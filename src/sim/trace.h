@@ -1,0 +1,87 @@
+// Event-trace record/replay.
+//
+// A Trace is the totally ordered list of everything the scheduler did during
+// one run: message deliveries and drops, timer firings, crashes, shutdowns,
+// and fault directives. Because the simulation is deterministic per seed, a
+// recorded trace is a complete reproduction recipe — and replaying a run
+// against its own trace is a strong oracle: the TraceRecorder in replay mode
+// verifies every emitted event against the recorded one and throws
+// TraceDivergence the moment execution departs from the recording (including
+// when the recording is truncated or corrupted), instead of silently
+// producing a different run.
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ctsim {
+
+struct TraceEvent {
+  uint64_t at = 0;     // virtual ms
+  std::string kind;    // "deliver", "timer", "crash", "partition", ...
+  std::string detail;  // kind-specific, e.g. "node1>master nodeHeartbeat"
+
+  bool operator==(const TraceEvent& other) const {
+    return at == other.at && kind == other.kind && detail == other.detail;
+  }
+};
+
+class Trace {
+ public:
+  void Append(TraceEvent event) { events_.push_back(std::move(event)); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void Truncate(size_t n);
+
+  // One line per event: "<at> <kind> <detail>\n".
+  std::string Serialize() const;
+  static Trace Parse(const std::string& text);
+
+  // FNV-1a 64 over the serialized form.
+  uint64_t Hash() const;
+
+  std::vector<TraceEvent>* mutable_events() { return &events_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+// Thrown by replay-mode verification; never caught by the simulation's
+// exception machinery (which only handles SimException), so a divergence
+// always surfaces to the caller.
+class TraceDivergence : public std::runtime_error {
+ public:
+  explicit TraceDivergence(const std::string& what) : std::runtime_error(what) {}
+};
+
+class TraceRecorder {
+ public:
+  // Record mode: accumulate events.
+  TraceRecorder() = default;
+  // Replay mode: verify each emitted event against `expected` (which must
+  // outlive the recorder). Events still accumulate, so trace() is usable in
+  // both modes.
+  explicit TraceRecorder(const Trace* expected) : expected_(expected) {}
+
+  bool replaying() const { return expected_ != nullptr; }
+  const Trace& trace() const { return trace_; }
+
+  void Record(uint64_t at, const char* kind, std::string detail);
+
+  // Replay mode: throws TraceDivergence if the recording has events the run
+  // never produced (a longer recording means the run diverged or the
+  // recording belongs to a different run).
+  void FinishReplay() const;
+
+ private:
+  Trace trace_;
+  const Trace* expected_ = nullptr;
+};
+
+}  // namespace ctsim
+
+#endif  // SRC_SIM_TRACE_H_

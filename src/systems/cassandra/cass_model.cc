@@ -159,6 +159,15 @@ CassArtifacts* Build() {
       {artifacts->points.gossip_state_write, artifacts->points.hint_store_write,
        "peer lost during a gossip state update, hint target lost while hints for the "
        "first death are being stored"});
+
+  // Network-fault window: partition the gossiping peer across markDead
+  // (gossip fd 1500 ms + sweep), then heal — its resumed gossip is applied
+  // without the restart/generation check (the CASSANDRA-15158 class of
+  // gossip restart races).
+  model.AddNetworkFaultWindow(
+      {artifacts->points.gossip_state_write, 1900, "CA-15158",
+       "peer partitioned across its own markDead, re-announced state applied "
+       "without a generation check"});
   return artifacts;
 }
 

@@ -8,6 +8,13 @@ namespace ctcass {
 using ctsim::Message;
 using ctsim::SimException;
 
+// How long a removal's recovery actions stay in flight — the width of the
+// seeded message-race window. A stale heartbeat landing inside it hits the
+// race; a later one takes the benign resync path. Sub-second-scale on
+// purpose: the paper's observation is that recovery windows are narrow,
+// which is why blind fault injection rarely lands in them.
+constexpr ctsim::Time kRemovalRaceWindowMs = 1200;
+
 CassNode::CassNode(ctsim::Cluster* cluster, std::string id, std::vector<std::string> seeds,
                    const CassArtifacts* artifacts, const CassConfig* config)
     : Node(cluster, std::move(id)), seeds_(std::move(seeds)), artifacts_(artifacts),
@@ -18,6 +25,22 @@ CassNode::CassNode(ctsim::Cluster* cluster, std::string id, std::vector<std::str
 
   Handle("gossip", [this](const Message& m) {
     CT_FRAME("Gossiper.applyStateLocally");
+    auto downed = downed_peers_.find(m.from);
+    if (downed != downed_peers_.end()) {
+      const bool recovering =
+          this->cluster().loop().Now() - downed->second <= kRemovalRaceWindowMs;
+      downed_peers_.erase(downed);
+      if (recovering) {
+        // Gossip from an endpoint markDead already expired is applied
+        // without the restart/generation check while hints for the death
+        // are still being written (the gossip restart race): writes routed
+        // while the peer was out now disagree with its re-announced state.
+        throw SimException("IllegalStateException",
+                           "Gossip restart race: endpoint " + m.from +
+                               " rejoined after being marked dead");
+      }
+      // Hints already settled: benign restart path.
+    }
     gossip_fd_->Heartbeat(m.from);
     if (std::find(ring_.begin(), ring_.end(), m.from) == ring_.end()) {
       ring_.push_back(m.from);
@@ -73,6 +96,7 @@ void CassNode::OnHandlerException(const std::string& context, const SimException
 void CassNode::PeerDown(const std::string& peer) {
   CT_FRAME("Gossiper.markDead");
   std::erase(ring_, peer);
+  downed_peers_[peer] = this->cluster().loop().Now();
   log().Log(artifacts_->stmts.node_down, {peer});
 }
 

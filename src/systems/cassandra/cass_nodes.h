@@ -42,6 +42,13 @@ class CassNode : public ctsim::Node {
   const CassConfig* config_;
 
   std::vector<std::string> ring_;                // TokenMetadata.ring (live view)
+  // Peers markDead already expired, by expiry time. Gossip from one can
+  // only arrive through a healed partition (a crashed peer never gossips
+  // again, a leaving one announces first) — the seeded message race of
+  // network-fault mode. The race is live only while hints and ring repair
+  // for the death are still in flight; later stale gossip takes the benign
+  // restart path. Either way the tombstone is cleared on first contact.
+  std::map<std::string, ctsim::Time> downed_peers_;
   std::map<std::string, std::string> data_;      // row store
   std::map<std::string, std::string> hints_;     // HintsService.hints
   std::unique_ptr<ctsim::FailureDetector> gossip_fd_;

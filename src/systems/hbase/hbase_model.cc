@@ -202,6 +202,16 @@ HBaseArtifacts* Build() {
       {artifacts->points.master_balancer_read, artifacts->points.rs_open_rebalance_write,
        "RS lost under the balancer's region scan, destination RS lost while opening "
        "the moved region (HBASE-22050 stuck-region window)"});
+
+  // Network-fault bug window. The balancer scan is the anchor because it is
+  // the earliest read whose value resolves to a region server *after* that
+  // server holds a ZK session (rs_zk_register_ms = 3600 ms): the partition
+  // must cut an already-tracked session for the expiry sweep to tombstone
+  // it. 2500 ms covers the 2000 ms session timeout + 300 ms sweep.
+  model.AddNetworkFaultWindow(
+      {artifacts->points.master_balancer_read, 2500, "HBASE-22862",
+       "RS partitioned under the balancer scan, session expired, heals and heartbeats "
+       "into the quorum without reconnecting"});
   return artifacts;
 }
 

@@ -8,6 +8,13 @@ namespace cthbase {
 using ctsim::Message;
 using ctsim::SimException;
 
+// How long a removal's recovery actions stay in flight — the width of the
+// seeded message-race window. A stale heartbeat landing inside it hits the
+// race; a later one takes the benign resync path. Sub-second-scale on
+// purpose: the paper's observation is that recovery windows are narrow,
+// which is why blind fault injection rarely lands in them.
+constexpr ctsim::Time kRemovalRaceWindowMs = 1200;
+
 // --- ZkQuorum ---------------------------------------------------------------
 
 ZkQuorum::ZkQuorum(ctsim::Cluster* cluster, std::string id, std::string master,
@@ -28,6 +35,7 @@ ZkQuorum::ZkQuorum(ctsim::Cluster* cluster, std::string id, std::string master,
         for (const auto& path : expired) {
           ephemerals_.erase(path);
         }
+        expired_sessions_[owner] = this->cluster().loop().Now();
         Send(master_, "rsExpired", {{"rs", owner}});
       });
   Handle("createEphemeral", [this](const Message& m) {
@@ -35,11 +43,36 @@ ZkQuorum::ZkQuorum(ctsim::Cluster* cluster, std::string id, std::string master,
     session_fd_->Heartbeat(m.from);
     log().Log(artifacts_->stmts.znode_created, {m.Arg("path"), m.from});
   });
-  Handle("sessionHeartbeat", [this](const Message& m) { session_fd_->Heartbeat(m.from); });
+  Handle("sessionHeartbeat", [this](const Message& m) {
+    auto expired = expired_sessions_.find(m.from);
+    if (expired != expired_sessions_.end()) {
+      const bool recovering =
+          this->cluster().loop().Now() - expired->second <= kRemovalRaceWindowMs;
+      expired_sessions_.erase(expired);
+      if (recovering) {
+        // The quorum accepts a heartbeat on a session it already expired
+        // instead of answering SESSION_EXPIRED (the YouAreDeadException
+        // race): the master's server-crash procedure is still running while
+        // the region server, back from a healed partition, keeps serving.
+        throw SimException("YouAreDeadException",
+                           "Session heartbeat from expired region server " + m.from +
+                               " accepted without restart");
+      }
+      // The crash procedure already finished: benign new-session path.
+    }
+    session_fd_->Heartbeat(m.from);
+  });
   Handle("closeSession", [this](const Message& m) { session_fd_->NotifyLeft(m.from); });
 }
 
 void ZkQuorum::OnStart() { session_fd_->Start(); }
+
+void ZkQuorum::OnHandlerException(const std::string& context, const SimException& e) {
+  // A bad session op is rejected and logged; the quorum itself survives
+  // (a real ZK server does not die on a stale client request).
+  (void)context;
+  (void)e;
+}
 
 // --- HMaster ----------------------------------------------------------------
 
@@ -193,7 +226,7 @@ void HMaster::AssignRegion(const std::string& region, const std::string& rs, boo
   RegionState state;
   state.server = rs;
   state.state = "OPENING";
-  state.since = cluster().loop().Now();
+  state.since = this->cluster().loop().Now();
   regions_[region] = state;
   Send(rs, "openRegion", {{"region", region}, {"reason", rebalance ? "rebalance" : "assign"}});
 }
@@ -218,7 +251,7 @@ void HMaster::ServerCrashProcedure(const std::string& rs) {
       continue;
     }
     state.state = "RECOVERING";
-    state.since = cluster().loop().Now();
+    state.since = this->cluster().loop().Now();
     std::string region_copy = region;
     After(config_->wal_split_ms, [this, region_copy] {
       auto it = regions_.find(region_copy);
@@ -274,7 +307,7 @@ void HMaster::StuckRegionChore() {
   if (!active_) {
     return;
   }
-  ctsim::Time now = cluster().loop().Now();
+  ctsim::Time now = this->cluster().loop().Now();
   for (auto& [region, state] : regions_) {
     if (state.state == "OPENING" && now - state.since > config_->stuck_threshold_ms) {
       // §4.1.3: a region stuck in OPENING is eventually killed and

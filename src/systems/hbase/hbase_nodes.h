@@ -31,12 +31,21 @@ class ZkQuorum : public ctsim::Node {
 
  protected:
   void OnStart() override;
+  void OnHandlerException(const std::string& context, const ctsim::SimException& e) override;
 
  private:
   std::string master_;
   const HBaseArtifacts* artifacts_;
   const HBaseConfig* config_;
   std::map<std::string, std::string> ephemerals_;  // znode path → owner
+  // Sessions the expiry sweep already declared dead, by expiry time. A
+  // heartbeat from one can only arrive through a healed partition (a dead
+  // RS never speaks again, a stopping one closes its session first) — the
+  // seeded message race of network-fault mode. The race is live only while
+  // the master's server-crash procedure is still running; later stale
+  // heartbeats take the benign new-session path. Either way the tombstone
+  // is cleared on first contact.
+  std::map<std::string, ctsim::Time> expired_sessions_;
   std::unique_ptr<ctsim::FailureDetector> session_fd_;
 };
 

@@ -203,6 +203,16 @@ HdfsArtifacts* Build() {
       {artifacts->points.nn_register_dn_write, artifacts->points.dn_block_report_read,
        "DN lost right after registering, replacement DN stopped mid block report "
        "(HDFS-14372 window during re-replication)"});
+
+  // Network-fault bug window: partition the DN whose id the registration
+  // write resolves to, hold the cut past the 1500 ms liveness timeout
+  // (expiry at ~1750 ms with the 250 ms sweep), and heal at 1900 ms so the
+  // DN's next 800 ms-grid heartbeat hits removeDeadDatanode's tombstone
+  // while its recovery is still in flight.
+  model.AddNetworkFaultWindow(
+      {artifacts->points.nn_register_dn_write, 1900, "HDFS-15113",
+       "DN partitioned at registration, expired as dead, heals and heartbeats into the "
+       "DatanodeManager without re-registering"});
   return artifacts;
 }
 

@@ -8,6 +8,13 @@ namespace cthdfs {
 using ctsim::Message;
 using ctsim::SimException;
 
+// How long a removal's recovery actions stay in flight — the width of the
+// seeded message-race window. A stale heartbeat landing inside it hits the
+// race; a later one takes the benign resync path. Sub-second-scale on
+// purpose: the paper's observation is that recovery windows are narrow,
+// which is why blind fault injection rarely lands in them.
+constexpr ctsim::Time kRemovalRaceWindowMs = 1200;
+
 // --- NameNode ---------------------------------------------------------------
 
 NameNode::NameNode(ctsim::Cluster* cluster, std::string id, std::string peer, bool active,
@@ -26,7 +33,7 @@ NameNode::NameNode(ctsim::Cluster* cluster, std::string id, std::string peer, bo
       [this](const std::string&) { Promote(); });
 
   Handle("registerDatanode", [this](const Message& m) { RegisterDatanode(m); });
-  Handle("dnHeartbeat", [this](const Message& m) { dn_fd_->Heartbeat(m.Arg("dn")); });
+  Handle("dnHeartbeat", [this](const Message& m) { DnHeartbeat(m); });
   Handle("unregisterDatanode", [this](const Message& m) { dn_fd_->NotifyLeft(m.Arg("dn")); });
   Handle("createFile", [this](const Message& m) { CreateFile(m); });
   Handle("getBlockLocations", [this](const Message& m) { GetBlockLocations(m); });
@@ -168,10 +175,34 @@ void NameNode::GetFsStatus(const Message& m) {
   Send(m.from, "fsStatus", {{"files", std::to_string(complete)}});
 }
 
+void NameNode::DnHeartbeat(const Message& m) {
+  const std::string& dn = m.Arg("dn");
+  auto removed = removed_datanodes_.find(dn);
+  if (removed != removed_datanodes_.end()) {
+    const bool recovering =
+        cluster().loop().Now() - removed->second <= kRemovalRaceWindowMs;
+    removed_datanodes_.erase(removed);
+    if (recovering) {
+      // The heartbeat handler applies the report against dead-node state
+      // while the removal is still being re-replicated, instead of demanding
+      // re-registration (HDFS-15113): the race only a promptly healed
+      // partition can produce.
+      throw SimException(
+          "UnregisteredNodeException",
+          "Heartbeat from dead datanode " + dn + " processed without re-registration");
+    }
+    // Removal already settled: the stale heartbeat is answered with a
+    // re-registration demand, which the simulation applies inline.
+    datanodes_[dn] = true;
+  }
+  dn_fd_->Heartbeat(dn);
+}
+
 void NameNode::HandleDatanodeLost(const std::string& dn) {
   CT_FRAME("DatanodeManager.removeDeadDatanode");
   log().Log(artifacts_->stmts.dn_removed, {dn});
   datanodes_.erase(dn);
+  removed_datanodes_[dn] = cluster().loop().Now();
   for (auto& [blk, dns] : block_locations_) {
     std::erase(dns, dn);
   }

@@ -41,6 +41,7 @@ class NameNode : public ctsim::Node {
 
  private:
   void RegisterDatanode(const ctsim::Message& m);
+  void DnHeartbeat(const ctsim::Message& m);
   void CreateFile(const ctsim::Message& m);
   void GetBlockLocations(const ctsim::Message& m);
   void GetFsStatus(const ctsim::Message& m);
@@ -58,6 +59,14 @@ class NameNode : public ctsim::Node {
   Journal* journal_;
 
   std::map<std::string, bool> datanodes_;  // DatanodeManager.datanodeMap
+  // Datanodes removeDeadDatanode already expired, by removal time. A
+  // heartbeat from one can only arrive through a healed partition (dead DNs
+  // never speak again, decommissioned ones unregister first) — the seeded
+  // message race of network-fault mode. The race is live only while the
+  // removal's re-replication bookkeeping is still in flight; later stale
+  // heartbeats take the benign re-registration path. Either way the
+  // tombstone is cleared on first contact.
+  std::map<std::string, ctsim::Time> removed_datanodes_;
   std::map<std::string, std::vector<std::string>> block_locations_;
   struct FileRecord {
     std::vector<std::string> blocks;

@@ -53,6 +53,11 @@ std::unique_ptr<ctcore::WorkloadRun> HdfsSystem::MakeRun(int workload_size, uint
 
 std::vector<ctcore::KnownBug> HdfsSystem::known_bugs() const {
   return {
+      // Seeded message race for network-fault mode (listed first so a run
+      // that also trips HDFS-14216's request failure triages to the race).
+      {"HDFS-15113", "Major", "message-race", "Unresolved",
+       "Heartbeat from dead datanode processed without re-registration", "DataNodeInfo",
+       "DatanodeManager.registerDatanode", "Heartbeat from dead datanode"},
       {"HDFS-14216", "Major", "pre-read", "Fixed", "Request fails due to removed node",
        "DataNodeInfo", "DatanodeManager.getDatanode", "Request fails due to removed node"},
       {"HDFS-14372", "Major", "pre-read", "Fixed", "Shutdown before register causing abort",

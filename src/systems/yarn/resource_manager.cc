@@ -9,6 +9,13 @@ namespace ctyarn {
 using ctsim::Message;
 using ctsim::SimException;
 
+// How long a removal's recovery actions stay in flight — the width of the
+// seeded message-race window. A stale heartbeat landing inside it hits the
+// race; a later one takes the benign resync path. Sub-second-scale on
+// purpose: the paper's observation is that recovery windows are narrow,
+// which is why blind fault injection rarely lands in them.
+constexpr ctsim::Time kRemovalRaceWindowMs = 1200;
+
 ResourceManager::ResourceManager(ctsim::Cluster* cluster, std::string id,
                                  const YarnArtifacts* artifacts, const YarnConfig* config,
                                  JobState* job)
@@ -19,7 +26,7 @@ ResourceManager::ResourceManager(ctsim::Cluster* cluster, std::string id,
       [this](const std::string& node_id) { HandleNodeLost(node_id); });
 
   Handle("registerNode", [this](const Message& m) { RegisterNode(m); });
-  Handle("nodeHeartbeat", [this](const Message& m) { fd_->Heartbeat(m.Arg("node")); });
+  Handle("nodeHeartbeat", [this](const Message& m) { NodeHeartbeat(m); });
   Handle("unregisterNode", [this](const Message& m) { fd_->NotifyLeft(m.Arg("node")); });
   Handle("submitApplication", [this](const Message& m) { SubmitApplication(m); });
   Handle("registerAM", [this](const Message& m) { RegisterAm(m); });
@@ -476,10 +483,33 @@ void ResourceManager::AmFailed(const Message& m) {
   AttemptFailed(m.Arg("attempt"));
 }
 
+void ResourceManager::NodeHeartbeat(const Message& m) {
+  const std::string& node_id = m.Arg("node");
+  auto removed = removed_nodes_.find(node_id);
+  if (removed != removed_nodes_.end()) {
+    const bool recovering =
+        cluster().loop().Now() - removed->second <= kRemovalRaceWindowMs;
+    removed_nodes_.erase(removed);
+    if (recovering) {
+      // The tracker applies a status update from a node the liveness monitor
+      // already expired while the container sweep is still in flight,
+      // instead of forcing a resync (YARN-9301): the re-registration race
+      // only a partition that outlives the expiry and then promptly heals
+      // can produce.
+      throw SimException("InvalidStateTransitionException",
+                         "Heartbeat from removed node " + node_id + " applied without resync");
+    }
+    // Recovery already settled: the stale heartbeat takes the benign resync
+    // path and the node re-registers from scratch.
+  }
+  fd_->Heartbeat(node_id);
+}
+
 void ResourceManager::HandleNodeLost(const std::string& node_id) {
   CT_FRAME("NodesListManager.handleNodeLost");
   log().Log(artifacts_->stmts.node_lost, {node_id});
   nodes_.erase(node_id);  // note: node_list_ is NOT cleaned (YARN-9193)
+  removed_nodes_[node_id] = cluster().loop().Now();
 
   // Sweep containers hosted on the lost node.
   std::vector<std::string> lost_masters;

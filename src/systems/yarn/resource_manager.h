@@ -73,6 +73,7 @@ class ResourceManager : public ctsim::Node {
  private:
   // RPC handlers.
   void RegisterNode(const ctsim::Message& m);
+  void NodeHeartbeat(const ctsim::Message& m);
   void SubmitApplication(const ctsim::Message& m);
   void RegisterAm(const ctsim::Message& m);
   void Allocate(const ctsim::Message& m);
@@ -115,6 +116,14 @@ class ResourceManager : public ctsim::Node {
   std::map<std::string, RMContainer> containers_;
   std::map<std::string, RMApp> apps_;
   std::map<std::string, RMAttempt> attempts_;
+  // Nodes the liveness monitor declared LOST, by removal time. A heartbeat
+  // from one of these can only arrive through a healed partition (crashed
+  // nodes never speak again, decommissioned ones unregister first) — the
+  // seeded message race network-fault mode targets. The race is live only
+  // while the removal's recovery (container sweep, reallocation) is still in
+  // flight; a later stale heartbeat takes the benign resync path. Either way
+  // the tombstone is cleared on first contact.
+  std::map<std::string, ctsim::Time> removed_nodes_;
   std::unique_ptr<ctsim::FailureDetector> fd_;
   int next_container_ = 0;
   int job_counter_ = 0;

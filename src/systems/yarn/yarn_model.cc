@@ -607,6 +607,21 @@ void BuildMultiCrashPairs(YarnArtifacts* artifacts) {
        "allocation path it was feeding (YARN-9193 window)"});
 }
 
+// Network-fault bug windows: partition the node a meta-info value resolves
+// to (instead of crashing it), hold the cut past the liveness expiry, heal,
+// and let the presumed-dead node's next heartbeat race the recovered state.
+void BuildNetworkFaultWindows(YarnArtifacts* artifacts) {
+  const YarnPoints& p = artifacts->points;
+  // fd_timeout 1500 ms + sweep 250 ms put the LOST expiry at ~1750 ms into
+  // the cut. 1900 ms heals just after it, so the NM's next 1000 ms-grid
+  // heartbeat lands inside the removal's recovery window; a longer cut heals
+  // after the sweep has settled and the heartbeat takes the benign resync.
+  artifacts->model.AddNetworkFaultWindow(
+      {p.rm_register_node_write, 1900, "YARN-9301",
+       "NM partitioned at registration, expired as LOST, heals and heartbeats into the "
+       "tracker without a resync"});
+}
+
 YarnArtifacts* BuildArtifacts(YarnMode mode) {
   auto* artifacts = new YarnArtifacts();
   artifacts->mode = mode;
@@ -620,6 +635,7 @@ YarnArtifacts* BuildArtifacts(YarnMode mode) {
   BuildIoPoints(artifacts);
   BuildCatalog(&artifacts->model);
   BuildMultiCrashPairs(artifacts);
+  BuildNetworkFaultWindows(artifacts);
   return artifacts;
 }
 

@@ -78,6 +78,13 @@ std::unique_ptr<ctcore::WorkloadRun> YarnSystem::MakeRun(int workload_size, uint
 std::vector<ctcore::KnownBug> YarnSystem::known_bugs() const {
   // The Table 5 triage table (plus the two legacy reproductions of Table 1).
   std::vector<ctcore::KnownBug> bugs = {
+      // Seeded message race for network-fault mode: only a partition that
+      // outlives the liveness expiry and then heals can surface it. Listed
+      // first so an injection that races *and* trips a crash-window symptom
+      // triages to the race.
+      {"YARN-9301", "Major", "message-race", "Unresolved",
+       "Heartbeat from removed node applied without resync", "NodeId",
+       "AbstractYarnScheduler.addNode", "Heartbeat from removed node"},
       {"YARN-9238", "Critical", "pre-read", "Fixed",
        "Allocating containers to removed ApplicationAttempt", "ApplicationAttemptId",
        "OpportunisticAMSProcessor.allocate", "removed application attempt"},

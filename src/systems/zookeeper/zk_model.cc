@@ -187,6 +187,15 @@ ZkArtifacts* Build() {
       {artifacts->points.znode_create_write, artifacts->points.quorum_member_write,
        "participant lost right after a znode commit, second participant lost during "
        "the quorum view update, probing quorum loss handling"});
+
+  // Network-fault window: partition the leader resolved from the session
+  // read long enough for the quorum to expire it (fd 1500 ms + sweep), then
+  // heal — its resumed heartbeats race the peers' election view
+  // (ZOOKEEPER-2212 class).
+  model.AddNetworkFaultWindow(
+      {artifacts->points.leader_session_read, 1900, "ZOOKEEPER-2212",
+       "leader partitioned across its own expiry, heartbeats resume into peers "
+       "that already voted it out"});
   return artifacts;
 }
 

@@ -9,6 +9,13 @@ namespace ctzk {
 
 using ctsim::Message;
 
+// How long a removal's recovery actions stay in flight — the width of the
+// seeded message-race window. A stale heartbeat landing inside it hits the
+// race; a later one takes the benign resync path. Sub-second-scale on
+// purpose: the paper's observation is that recovery windows are narrow,
+// which is why blind fault injection rarely lands in them.
+constexpr ctsim::Time kRemovalRaceWindowMs = 1200;
+
 ZkPeer::ZkPeer(ctsim::Cluster* cluster, std::string id, int myid, std::vector<std::string> peers,
                const ZkArtifacts* artifacts, const ZkConfig* config, QuorumShared* shared)
     : Node(cluster, std::move(id)),
@@ -22,6 +29,23 @@ ZkPeer::ZkPeer(ctsim::Cluster* cluster, std::string id, int myid, std::vector<st
       [this](const std::string& peer) { PeerLost(peer); });
 
   Handle("peerHeartbeat", [this](const Message& m) {
+    auto lost = lost_peers_.find(m.from);
+    if (lost != lost_peers_.end()) {
+      const bool recovering =
+          this->cluster().loop().Now() - lost->second <= kRemovalRaceWindowMs;
+      lost_peers_.erase(lost);
+      if (recovering) {
+        // The election view re-admits a peer it already expired without any
+        // epoch sync, while the vote triggered by the expiry is still
+        // converging: this replica voted (and possibly promoted) assuming
+        // the peer was gone, and the rejoined peer still carries its old
+        // view.
+        throw ctsim::SimException("StaleEpochException",
+                                  "Peer " + m.from +
+                                      " rejoined the quorum without syncing its epoch");
+      }
+      // Election already reconverged: the peer is re-admitted benignly.
+    }
     alive_peers_.insert(m.from);
     peer_fd_->Heartbeat(m.from);
     current_leader_ = LeaderId();
@@ -80,8 +104,17 @@ std::string ZkPeer::LeaderId() const {
 
 bool ZkPeer::IsLeader() const { return LeaderId() == id(); }
 
+void ZkPeer::OnHandlerException(const std::string& context, const ctsim::SimException& e) {
+  // Quorum-layer exceptions are logged and the peer keeps serving: the next
+  // heartbeat round reconverges the election view (a real ensemble member
+  // rejects the stale connection rather than dying).
+  (void)context;
+  (void)e;
+}
+
 void ZkPeer::PeerLost(const std::string& peer) {
   alive_peers_.erase(peer);
+  lost_peers_[peer] = this->cluster().loop().Now();
   std::string previous = current_leader_;
   current_leader_ = LeaderId();
   CT_FRAME("QuorumPeer.updateElectionVote");

@@ -36,6 +36,7 @@ class ZkPeer : public ctsim::Node {
 
  protected:
   void OnStart() override;
+  void OnHandlerException(const std::string& context, const ctsim::SimException& e) override;
 
  private:
   void CreateRequest(const ctsim::Message& m);
@@ -51,6 +52,14 @@ class ZkPeer : public ctsim::Node {
   QuorumShared* shared_;
 
   std::set<std::string> alive_peers_;
+  // Peers this replica already expired from its election view, by expiry
+  // time. A heartbeat from one can only arrive through a healed partition
+  // (a crashed peer never speaks again) — the seeded message race of
+  // network-fault mode. The race is live only while the re-election the
+  // expiry triggered is still converging; later stale heartbeats re-admit
+  // the peer benignly. Either way the tombstone is cleared on first
+  // contact.
+  std::map<std::string, ctsim::Time> lost_peers_;
   std::map<std::string, std::string> znodes_;    // DataTree.nodes (full replica)
   std::map<std::string, std::string> sessions_;  // SessionTracker.sessionsById
   std::string current_leader_;

@@ -20,8 +20,17 @@ class ZkSystem : public ctcore::SystemUnderTest {
   std::string workload_name() const override { return "SmokeTest+curl"; }
   const ctmodel::ProgramModel& model() const override { return GetZkArtifacts().model; }
   int default_workload_size() const override { return 4; }
-  // No new bugs: the paper found none in ZooKeeper and neither should we.
-  std::vector<ctcore::KnownBug> known_bugs() const override { return {}; }
+  // The paper's crash campaign found no new ZooKeeper bugs and neither does
+  // ours — the only entry is the seeded message race, reachable exclusively
+  // by network-fault mode (a partitioned peer rejoining after its quorum
+  // expired it; crashes can never re-deliver an expired peer's heartbeat).
+  std::vector<ctcore::KnownBug> known_bugs() const override {
+    return {
+        {"ZOOKEEPER-2212", "Major", "message-race", "Unresolved",
+         "Rejoining peer accepted without epoch sync", "QuorumPeer",
+         "PrepRequestProcessor.pRequest", "rejoined the quorum without syncing"},
+    };
+  }
 
   const ZkConfig& config() const { return config_; }
 

@@ -1,0 +1,208 @@
+// Unit tests for the cluster's network-fault semantics: link-fault draws
+// (drop/delay/duplicate/reorder), partition directives, the separation of
+// the drop counters, and the trace record/replay primitives they feed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/sim/cluster.h"
+#include "src/sim/fault_plan.h"
+#include "src/sim/trace.h"
+
+namespace ctsim {
+namespace {
+
+class ProbeNode : public Node {
+ public:
+  ProbeNode(Cluster* cluster, std::string id) : Node(cluster, std::move(id)) {
+    Handle("ping", [this](const Message&) {
+      ++pings_;
+      arrival_times_.push_back(this->cluster().loop().Now());
+    });
+  }
+
+  int pings_ = 0;
+  std::vector<Time> arrival_times_;
+};
+
+TEST(ClusterFaults, DuplicationDeliversTwiceToLiveNode) {
+  Cluster cluster(7);
+  auto* a = cluster.AddNode<ProbeNode>("a:1");
+  auto* b = cluster.AddNode<ProbeNode>("b:1");
+  cluster.StartAll();
+  FaultPlan plan;
+  plan.default_link.duplicate_probability = 1.0;
+  cluster.InstallFaultPlan(plan);
+  a->Send("b:1", "ping");
+  cluster.loop().RunToCompletion();
+  EXPECT_EQ(b->pings_, 2);
+  EXPECT_EQ(cluster.duplicated_messages(), 1u);
+  EXPECT_EQ(cluster.plan_dropped_messages(), 0u);
+  EXPECT_EQ(cluster.dropped_messages(), 0u);
+}
+
+TEST(ClusterFaults, DuplicationNeverResurrectsMessageToDeadNode) {
+  Cluster cluster(7);
+  auto* a = cluster.AddNode<ProbeNode>("a:1");
+  auto* b = cluster.AddNode<ProbeNode>("b:1");
+  cluster.StartAll();
+  FaultPlan plan;
+  plan.default_link.duplicate_probability = 1.0;
+  plan.default_link.extra_delay_ms = 5;
+  cluster.InstallFaultPlan(plan);
+  a->Send("b:1", "ping");
+  cluster.Crash("b:1");  // dies before either copy arrives
+  cluster.loop().RunToCompletion();
+  EXPECT_EQ(b->pings_, 0);
+  // Both the original and the duplicate count as dead-node drops — dying
+  // before delivery beats any fault-plan scheduling.
+  EXPECT_EQ(cluster.duplicated_messages(), 1u);
+  EXPECT_EQ(cluster.dropped_messages(), 2u);
+  EXPECT_EQ(cluster.plan_dropped_messages(), 0u);
+}
+
+TEST(ClusterFaults, ReorderingRespectsTheDeclaredBound) {
+  Cluster cluster(7);
+  auto* a = cluster.AddNode<ProbeNode>("a:1");
+  auto* b = cluster.AddNode<ProbeNode>("b:1");
+  cluster.StartAll();
+  FaultPlan plan;
+  plan.default_link.reorder_window_ms = 10;
+  cluster.InstallFaultPlan(plan);
+  const int kMessages = 50;
+  for (int i = 0; i < kMessages; ++i) {
+    a->Send("b:1", "ping");
+  }
+  cluster.loop().RunToCompletion();
+  EXPECT_EQ(b->pings_, kMessages);
+  // Every delivery lands inside [latency, latency + bound]; a bound of 10
+  // with 50 draws virtually guarantees at least one actual displacement.
+  for (Time at : b->arrival_times_) {
+    EXPECT_GE(at, cluster.latency_ms());
+    EXPECT_LE(at, cluster.latency_ms() + 10);
+  }
+  EXPECT_GT(*std::max_element(b->arrival_times_.begin(), b->arrival_times_.end()),
+            cluster.latency_ms());
+}
+
+TEST(ClusterFaults, LinkDropsCountSeparatelyFromDeadNodeDrops) {
+  Cluster cluster(7);
+  auto* a = cluster.AddNode<ProbeNode>("a:1");
+  auto* b = cluster.AddNode<ProbeNode>("b:1");
+  auto* c = cluster.AddNode<ProbeNode>("c:1");
+  cluster.StartAll();
+  FaultPlan plan;
+  plan.links[{"a:1", "b:1"}] = {/*drop_probability=*/1.0};
+  cluster.InstallFaultPlan(plan);
+  a->Send("b:1", "ping");  // plan-induced drop
+  a->Send("c:1", "ping");  // delivered: only the a->b link is faulty
+  cluster.Crash("c:1");
+  a->Send("c:1", "ping");  // dead-node drop
+  cluster.loop().RunToCompletion();
+  EXPECT_EQ(b->pings_, 0);
+  EXPECT_EQ(c->pings_, 0);
+  EXPECT_EQ(cluster.plan_dropped_messages(), 1u);
+  EXPECT_EQ(cluster.dropped_messages(), 2u);  // the pre-crash send also dies in flight
+}
+
+TEST(ClusterFaults, PartitionHealRoundTrip) {
+  Cluster cluster(7);
+  auto* a = cluster.AddNode<ProbeNode>("a:1");
+  auto* b = cluster.AddNode<ProbeNode>("b:1");
+  auto* c = cluster.AddNode<ProbeNode>("c:1");
+  cluster.StartAll();
+  cluster.PartitionNodes({"b:1"}, 100);
+  EXPECT_TRUE(cluster.LinkCut("a:1", "b:1"));
+  EXPECT_TRUE(cluster.LinkCut("b:1", "a:1"));  // cuts are symmetric
+  EXPECT_FALSE(cluster.LinkCut("a:1", "c:1"));
+  a->Send("b:1", "ping");                      // dropped: inside the window
+  b->Send("a:1", "ping");                      // dropped: other direction
+  a->Send("c:1", "ping");                      // unaffected link
+  cluster.loop().Schedule(200, [&] {
+    EXPECT_FALSE(cluster.LinkCut("a:1", "b:1"));  // healed
+    a->Send("b:1", "ping");
+  });
+  cluster.loop().RunToCompletion();
+  EXPECT_EQ(b->pings_, 1);  // only the post-heal send
+  EXPECT_EQ(a->pings_, 0);
+  EXPECT_EQ(c->pings_, 1);
+  EXPECT_EQ(cluster.plan_dropped_messages(), 2u);
+  EXPECT_EQ(cluster.dropped_messages(), 0u);
+}
+
+TEST(ClusterFaults, PlanPartitionDirectivesApplyAtTheDeclaredTimes) {
+  Cluster cluster(7);
+  auto* a = cluster.AddNode<ProbeNode>("a:1");
+  auto* b = cluster.AddNode<ProbeNode>("b:1");
+  cluster.StartAll();
+  FaultPlan plan;
+  plan.partitions.push_back({/*start_ms=*/50, /*heal_ms=*/150, {"b:1"}});
+  cluster.InstallFaultPlan(plan);
+  a->Send("b:1", "ping");                            // before the cut
+  cluster.loop().Schedule(100, [&] { a->Send("b:1", "ping"); });  // inside
+  cluster.loop().Schedule(150, [&] { a->Send("b:1", "ping"); });  // heal is exclusive
+  cluster.loop().RunToCompletion();
+  EXPECT_EQ(b->pings_, 2);
+  EXPECT_EQ(cluster.plan_dropped_messages(), 1u);
+}
+
+TEST(ClusterFaults, FaultDrawsDoNotPerturbTheWorkloadRng) {
+  // Two identically-seeded clusters, one with heavy link faults: the
+  // workload-visible RNG stream must not shift (faults draw from their own
+  // generator), so the fault-free cluster's draws match a third plain run.
+  Cluster plain_a(99), plain_b(99), faulty(99);
+  std::vector<uint64_t> draws_a, draws_b, draws_faulty;
+  for (int i = 0; i < 8; ++i) {
+    draws_a.push_back(plain_a.rng().Uniform(0, 1000));
+    draws_b.push_back(plain_b.rng().Uniform(0, 1000));
+  }
+  FaultPlan plan;
+  plan.default_link.drop_probability = 0.5;
+  plan.default_link.reorder_window_ms = 7;
+  plan.default_link.duplicate_probability = 0.5;
+  faulty.InstallFaultPlan(plan);
+  auto* a = faulty.AddNode<ProbeNode>("a:1");
+  faulty.AddNode<ProbeNode>("b:1");
+  faulty.StartAll();
+  for (int i = 0; i < 20; ++i) {
+    a->Send("b:1", "ping");
+  }
+  faulty.loop().RunToCompletion();
+  for (int i = 0; i < 8; ++i) {
+    draws_faulty.push_back(faulty.rng().Uniform(0, 1000));
+  }
+  EXPECT_EQ(draws_a, draws_b);
+  EXPECT_EQ(draws_faulty, draws_a);
+}
+
+TEST(Trace, SerializeParseRoundTripPreservesHash) {
+  Trace trace;
+  trace.Append({1, "deliver", "a:1>b:1 ping"});
+  trace.Append({2, "timer", "b:1"});
+  trace.Append({5, "crash", "b:1"});
+  Trace parsed = Trace::Parse(trace.Serialize());
+  EXPECT_EQ(parsed.size(), trace.size());
+  EXPECT_EQ(parsed.Hash(), trace.Hash());
+}
+
+TEST(Trace, ReplayOfIdenticalRunSucceedsAndDivergenceThrows) {
+  Trace recording;
+  recording.Append({1, "deliver", "a:1>b:1 ping"});
+  recording.Append({2, "timer", "b:1"});
+
+  TraceRecorder replay(&recording);
+  replay.Record(1, "deliver", "a:1>b:1 ping");
+  replay.Record(2, "timer", "b:1");
+  EXPECT_NO_THROW(replay.FinishReplay());
+
+  TraceRecorder diverging(&recording);
+  EXPECT_THROW(diverging.Record(1, "deliver", "a:1>c:1 ping"), TraceDivergence);
+
+  TraceRecorder incomplete(&recording);
+  incomplete.Record(1, "deliver", "a:1>b:1 ping");
+  EXPECT_THROW(incomplete.FinishReplay(), TraceDivergence);
+}
+
+}  // namespace
+}  // namespace ctsim

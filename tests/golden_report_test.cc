@@ -1,12 +1,13 @@
-// Golden-report regression test.
+// Golden-report regression suite.
 //
-// A fixed-seed ZooKeeper SystemReport is pinned as a checked-in JSON snapshot
-// for both context modes, and each mode is additionally run at jobs=1 and
-// jobs=4: the two thread counts must serialize byte-identically (the
-// campaign's determinism guarantee), and the jobs=1 serialization must match
-// the snapshot field-for-field. Any behavioural drift in the pipeline —
-// analysis, enumeration, injection, triage — shows up as a diff here before
-// it can silently change the reproduction's numbers.
+// A fixed-seed SystemReport for each of the five systems is pinned as a
+// checked-in JSON snapshot for both context modes, and each mode is
+// additionally run at jobs=1 and jobs=4: the two thread counts must
+// serialize byte-identically (the campaign's determinism guarantee), and the
+// jobs=1 serialization must match the snapshot field-for-field. Any
+// behavioural drift in the pipeline — analysis, enumeration, injection,
+// triage, trace hashing — shows up as a diff here before it can silently
+// change the reproduction's numbers.
 //
 // Regenerate after an intentional change with:
 //   CRASHTUNER_UPDATE_GOLDEN=1 ./build/tests/golden_report_test
@@ -20,6 +21,10 @@
 
 #include "src/core/crashtuner.h"
 #include "src/core/report_writer.h"
+#include "src/systems/cassandra/cass_system.h"
+#include "src/systems/hbase/hbase_system.h"
+#include "src/systems/hdfs/hdfs_system.h"
+#include "src/systems/yarn/yarn_system.h"
 #include "src/systems/zookeeper/zk_system.h"
 
 namespace {
@@ -100,25 +105,50 @@ void CheckAgainstGolden(const std::string& name, const std::string& serialized) 
   EXPECT_EQ(serialized, golden) << name;
 }
 
-SystemReport RunZk(ContextMode mode, int jobs) {
+SystemReport RunSystem(const ctcore::SystemUnderTest& system, ContextMode mode, int jobs) {
   DriverOptions options;
   options.context_mode = mode;
   options.jobs = jobs;
-  return CrashTunerDriver().Run(ctzk::ZkSystem(), options);
+  return CrashTunerDriver().Run(system, options);
 }
 
-TEST(GoldenReport, ProfiledModeMatchesSnapshotAtAnyJobs) {
-  std::string seq = Serialize(RunZk(ContextMode::kProfiled, 1));
-  std::string par = Serialize(RunZk(ContextMode::kProfiled, 4));
-  EXPECT_EQ(seq, par) << "profiled report differs between jobs=1 and jobs=4";
-  CheckAgainstGolden("zookeeper_profiled", seq);
+void CheckSystem(const ctcore::SystemUnderTest& system, ContextMode mode,
+                 const std::string& golden_name) {
+  std::string seq = Serialize(RunSystem(system, mode, 1));
+  std::string par = Serialize(RunSystem(system, mode, 4));
+  EXPECT_EQ(seq, par) << golden_name << " differs between jobs=1 and jobs=4";
+  CheckAgainstGolden(golden_name, seq);
 }
 
-TEST(GoldenReport, StaticOnlyModeMatchesSnapshotAtAnyJobs) {
-  std::string seq = Serialize(RunZk(ContextMode::kStaticOnly, 1));
-  std::string par = Serialize(RunZk(ContextMode::kStaticOnly, 4));
-  EXPECT_EQ(seq, par) << "static-only report differs between jobs=1 and jobs=4";
-  CheckAgainstGolden("zookeeper_static_only", seq);
+TEST(GoldenReport, YarnProfiled) {
+  CheckSystem(ctyarn::YarnSystem(), ContextMode::kProfiled, "yarn_profiled");
+}
+TEST(GoldenReport, YarnStaticOnly) {
+  CheckSystem(ctyarn::YarnSystem(), ContextMode::kStaticOnly, "yarn_static_only");
+}
+TEST(GoldenReport, HdfsProfiled) {
+  CheckSystem(cthdfs::HdfsSystem(), ContextMode::kProfiled, "hdfs_profiled");
+}
+TEST(GoldenReport, HdfsStaticOnly) {
+  CheckSystem(cthdfs::HdfsSystem(), ContextMode::kStaticOnly, "hdfs_static_only");
+}
+TEST(GoldenReport, HBaseProfiled) {
+  CheckSystem(cthbase::HBaseSystem(), ContextMode::kProfiled, "hbase_profiled");
+}
+TEST(GoldenReport, HBaseStaticOnly) {
+  CheckSystem(cthbase::HBaseSystem(), ContextMode::kStaticOnly, "hbase_static_only");
+}
+TEST(GoldenReport, ZooKeeperProfiled) {
+  CheckSystem(ctzk::ZkSystem(), ContextMode::kProfiled, "zookeeper_profiled");
+}
+TEST(GoldenReport, ZooKeeperStaticOnly) {
+  CheckSystem(ctzk::ZkSystem(), ContextMode::kStaticOnly, "zookeeper_static_only");
+}
+TEST(GoldenReport, CassandraProfiled) {
+  CheckSystem(ctcass::CassSystem(), ContextMode::kProfiled, "cassandra_profiled");
+}
+TEST(GoldenReport, CassandraStaticOnly) {
+  CheckSystem(ctcass::CassSystem(), ContextMode::kStaticOnly, "cassandra_static_only");
 }
 
 }  // namespace

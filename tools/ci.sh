@@ -46,20 +46,33 @@ echo "== stage 4b: static multi-crash smoke (pair-set precision/recall) =="
 ./build/bench/bench_multicrash --static-only --json build/BENCH_static_multicrash.json \
   | tail -n 10
 
+echo "== stage 4c: network-fault smoke (guided windows vs random partitions) =="
+# One guided network-fault campaign per system against a short blind-partition
+# baseline; leaves trials, bug counts, first-race trial indices, and wall time
+# in BENCH_network_faults.json. The per-system guided races themselves are
+# asserted by fault_plan_property_test; this smoke records the comparison.
+./build/bench/bench_table7_random_injection 40 --jobs 0 \
+  --json build/BENCH_network_faults.json | tail -n 12
+
 if [[ "$skip_sanitizers" == 1 ]]; then
   echo "== stages 5-6: sanitizers skipped =="
   exit 0
 fi
 
+# Sanitized test runs are the slow half of CI: run the cheap unit label first
+# so a plain breakage fails the stage in seconds, then the long-tail suites
+# (property / differential / golden) in one sweep.
 echo "== stage 5: ASan+UBSan build + tests =="
 cmake -B build-asan -S . -DCRASHTUNER_SANITIZE=address,undefined
 cmake --build build-asan -j "$jobs"
-ctest --test-dir build-asan --output-on-failure -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs" -L unit
+ctest --test-dir build-asan --output-on-failure -j "$jobs" -L "property|differential|golden"
 ./build-asan/tools/ctlint
 
 echo "== stage 6: TSan build + tests =="
 cmake -B build-tsan -S . -DCRASHTUNER_SANITIZE=thread
 cmake --build build-tsan -j "$jobs"
-ctest --test-dir build-tsan --output-on-failure -j "$jobs"
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L unit
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L "property|differential|golden"
 
 echo "CI green."
