@@ -6,7 +6,9 @@
 #include "bench/bench_util.h"
 #include "src/runtime/tracer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ctbench::BenchFlags flags = ctbench::ParseFlags(argc, argv);
+  ctbench::BenchObservation observation(flags);
   ctbench::PrintHeader("Ablation — call-stack depth bound vs dynamic crash points (mini-YARN)");
   std::printf("%5s %16s %10s %14s\n", "depth", "dynamic points", "bugs", "test virt h");
   for (int depth = 1; depth <= 6; ++depth) {
@@ -14,11 +16,18 @@ int main() {
     ctrt::AccessTracer::SetDefaultStackDepth(depth);
     ctyarn::YarnSystem yarn;
     ctcore::CrashTunerDriver driver;
-    ctcore::SystemReport report = driver.Run(yarn);
+    ctcore::DriverOptions options;
+    options.observer = observation.ObserverFor("yarn/depth" + std::to_string(depth));
+    ctcore::SystemReport report = driver.Run(yarn, options);
     std::printf("%5d %16d %10zu %14.2f%s\n", depth, report.dynamic_crash_points,
                 report.bugs.size(), report.test_virtual_hours,
                 depth == ctrt::CallStack::kMaxDepth ? "   <- paper's bound" : "");
   }
   ctrt::AccessTracer::SetDefaultStackDepth(ctrt::CallStack::kMaxDepth);
+
+  if (observation.enabled() && !observation.Write()) {
+    std::fprintf(stderr, "cannot write metrics/trace output\n");
+    return 1;
+  }
   return 0;
 }

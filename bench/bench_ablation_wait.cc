@@ -6,13 +6,16 @@
 // only partially.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ctbench::BenchFlags flags = ctbench::ParseFlags(argc, argv);
+  ctbench::BenchObservation observation(flags);
   ctbench::PrintHeader("Ablation — pre-read wait window vs bugs detected (mini-YARN)");
   std::printf("%10s %8s %14s\n", "wait (ms)", "bugs", "test virt h");
   for (ctsim::Time wait_ms : {0ull, 100ull, 1000ull, 5000ull, 10000ull, 20000ull}) {
     ctyarn::YarnSystem yarn;
     ctcore::DriverOptions options;
     options.pre_read_wait_ms = wait_ms;
+    options.observer = observation.ObserverFor("yarn/wait" + std::to_string(wait_ms));
     ctcore::CrashTunerDriver driver;
     ctcore::SystemReport report = driver.Run(yarn, options);
     std::printf("%10llu %8zu %14.2f%s\n", static_cast<unsigned long long>(wait_ms),
@@ -23,5 +26,10 @@ int main() {
   std::printf("The wait must outlast graceful-leave processing and the recovery actions\n"
               "that invalidate the read (remove the node, fail the attempt, kill the\n"
               "container); post-write bugs are crash-immediate and survive wait=0.\n");
+
+  if (observation.enabled() && !observation.Write()) {
+    std::fprintf(stderr, "cannot write metrics/trace output\n");
+    return 1;
+  }
   return 0;
 }

@@ -11,11 +11,22 @@
 #include "src/logging/stash.h"
 #include "src/runtime/tracer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ctbench::BenchFlags flags = ctbench::ParseFlags(argc, argv);
+  ctbench::BenchObservation observation(flags);
   ctyarn::YarnSystem yarn;
   ctrt::AccessTracer::Instance().Reset(ctrt::TraceMode::kOff);
   auto run = yarn.NewRun(3, 2019);
+  // This bench drives the Executor directly (no campaign driver), so the
+  // run observer is enabled and absorbed by hand.
+  ctobs::CampaignObserver* observer = observation.ObserverFor("yarn/fig5-workload");
+  if (observer != nullptr) {
+    run->context().observer().Enable();
+  }
   ctcore::Executor::Execute(*run, nullptr);
+  if (observer != nullptr) {
+    observer->AbsorbRun(0, run->context().observer());
+  }
   const auto& instances = run->cluster().logs().instances();
 
   ctbench::PrintHeader("Fig. 5(a)/(b) — logging statements and extracted patterns");
@@ -74,6 +85,11 @@ int main() {
       break;
     }
     std::printf("  %-42s -> %s\n", value.c_str(), node.c_str());
+  }
+
+  if (observation.enabled() && !observation.Write()) {
+    std::fprintf(stderr, "cannot write metrics/trace output\n");
+    return 1;
   }
   return 0;
 }

@@ -62,12 +62,14 @@ int main(int argc, char** argv) {
                            ? "Extension — multi-crash injection on mini-YARN (static contexts)"
                            : "Extension — multi-crash (pairwise) injection on mini-YARN");
 
+  ctbench::BenchObservation observation(flags);
   ctyarn::YarnSystem yarn;
   ctcore::CrashTunerDriver driver;
   ctcore::DriverOptions options;
   if (static_only) {
     options.context_mode = ctcore::ContextMode::kStaticOnly;
   }
+  options.observer = observation.ObserverFor(yarn.name() + "/single");
   ctcore::SystemReport single = driver.Run(yarn, options);
   std::printf("contexts    : %s, %d dynamic points, %d instrumented (profiling) runs\n",
               static_only ? "statically enumerated" : "profiled",
@@ -147,6 +149,11 @@ int main(int argc, char** argv) {
     }
     json << "\n]\n";
     std::printf("wrote %s\n", flags.json_path.c_str());
+  }
+
+  if (observation.enabled() && !observation.Write()) {
+    std::fprintf(stderr, "cannot write metrics/trace output\n");
+    return 1;
   }
   return 0;
 }

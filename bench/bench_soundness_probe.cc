@@ -11,16 +11,20 @@ static ctcore::SystemReport RunWith(const ctcore::DriverOptions& options) {
   return driver.Run(yarn, options);
 }
 
-int main() {
+int main(int argc, char** argv) {
+  ctbench::BenchFlags flags = ctbench::ParseFlags(argc, argv);
+  ctbench::BenchObservation observation(flags);
   ctbench::PrintHeader("§4.3.1 — soundness probe / optimization ablation (mini-YARN)");
 
   ctcore::DriverOptions baseline;
+  baseline.observer = observation.ObserverFor("yarn/with-opts");
   ctcore::SystemReport with_opts = RunWith(baseline);
 
   ctcore::DriverOptions no_opts;
   no_opts.crash_point_options.prune_constructor_only = false;
   no_opts.crash_point_options.prune_unused = false;
   no_opts.crash_point_options.prune_sanity_checked = false;
+  no_opts.observer = observation.ObserverFor("yarn/no-opts");
   ctcore::SystemReport without_opts = RunWith(no_opts);
 
   std::printf("%-28s %10s %10s\n", "", "with-opts", "no-opts");
@@ -54,5 +58,10 @@ int main() {
   std::printf("pruning buys %.1f%% fewer injection runs at zero detection loss\n",
               100.0 * (1.0 - static_cast<double>(with_opts.injections.size()) /
                                  static_cast<double>(without_opts.injections.size())));
+
+  if (observation.enabled() && !observation.Write()) {
+    std::fprintf(stderr, "cannot write metrics/trace output\n");
+    return 1;
+  }
   return 0;
 }

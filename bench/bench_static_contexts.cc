@@ -22,7 +22,9 @@ double WallSeconds(const std::function<void()>& fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ctbench::BenchFlags flags = ctbench::ParseFlags(argc, argv);
+  ctbench::BenchObservation observation(flags);
   ctbench::PrintHeader(
       "Static call-string enumeration vs profiling (dynamic crash points)");
   std::printf("%-14s | %8s %6s | %8s %6s %8s | %7s %9s | %8s %8s\n", "System", "Profiled",
@@ -32,11 +34,14 @@ int main() {
   for (const auto& system : ctbench::AllSystems()) {
     ctcore::CrashTunerDriver driver;
 
+    ctcore::DriverOptions profiled_options;
+    profiled_options.observer = observation.ObserverFor(system->name() + "/profiled");
     ctcore::SystemReport profiled;
-    double t_profiled = WallSeconds([&] { profiled = driver.Run(*system); });
+    double t_profiled = WallSeconds([&] { profiled = driver.Run(*system, profiled_options); });
 
     ctcore::DriverOptions options;
     options.context_mode = ctcore::ContextMode::kStaticSeeded;
+    options.observer = observation.ObserverFor(system->name() + "/static");
     ctcore::SystemReport seeded;
     double t_static = WallSeconds([&] { seeded = driver.Run(*system, options); });
 
@@ -78,5 +83,10 @@ int main() {
   }
   std::printf("Counts cover every modelled access point (catalog included); the\n");
   std::printf("unreach column is the access points whose anchor no entry reaches.\n");
+
+  if (observation.enabled() && !observation.Write()) {
+    std::fprintf(stderr, "cannot write metrics/trace output\n");
+    return 1;
+  }
   return 0;
 }

@@ -6,7 +6,9 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ctbench::BenchFlags flags = ctbench::ParseFlags(argc, argv);
+  ctbench::BenchObservation observation(flags);
   struct Row {
     std::string system;
     ctcore::SystemReport report;
@@ -18,12 +20,15 @@ int main() {
   for (const auto& system : ctbench::AllSystems()) {
     auto start = std::chrono::steady_clock::now();
     ctcore::CrashTunerDriver driver;
-    ctcore::SystemReport report = driver.Run(*system);
+    ctcore::DriverOptions serial;
+    serial.observer = observation.ObserverFor(system->name());
+    ctcore::SystemReport report = driver.Run(*system, serial);
     double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     // Same pipeline with the campaign fanned across workers; only the wall
     // clocks may differ between the two reports.
     ctcore::DriverOptions parallel;
     parallel.jobs = parallel_jobs;
+    parallel.observer = observation.ObserverFor(system->name() + "/jobs8");
     ctcore::SystemReport par_report = driver.Run(*system, parallel);
     rows.push_back({system->name(), std::move(report), wall, par_report.test_wall_seconds});
   }
@@ -86,5 +91,10 @@ int main() {
     std::printf("%-14s reduction factor %.2fx\n", row.system.c_str(), factor);
   }
   std::printf("(paper: 3.76x overall)\n");
+
+  if (observation.enabled() && !observation.Write()) {
+    std::fprintf(stderr, "cannot write metrics/trace output\n");
+    return 1;
+  }
   return 0;
 }

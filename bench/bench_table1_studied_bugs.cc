@@ -8,7 +8,9 @@
 #include "src/study/bug_study.h"
 #include "src/systems/yarn/yarn_system.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ctbench::BenchFlags flags = ctbench::ParseFlags(argc, argv);
+  ctbench::BenchObservation observation(flags);
   ctbench::PrintHeader("Table 1 — studied timing-sensitive bugs by meta-info");
 
   std::map<std::string, std::map<std::string, std::vector<std::string>>> grouped;
@@ -42,7 +44,9 @@ int main() {
   ctbench::PrintRule();
   std::printf("Reproduction on this repository's legacy mini-YARN build (§4.1.1 sample):\n");
   ctyarn::YarnSystem legacy(ctyarn::YarnMode::kLegacy);
-  ctcore::SystemReport report = ctcore::CrashTunerDriver().Run(legacy);
+  ctcore::DriverOptions options;
+  options.observer = observation.ObserverFor("yarn-legacy");
+  ctcore::SystemReport report = ctcore::CrashTunerDriver().Run(legacy, options);
   for (const char* id : {"YARN-5918", "MR-3858"}) {
     bool found = false;
     for (const auto& bug : report.bugs) {
@@ -52,5 +56,10 @@ int main() {
   }
   std::printf("  (the remaining Table 1 entries are carried as study data; the seven the\n"
               "   paper could not reproduce are annotated with its reasons)\n");
+
+  if (observation.enabled() && !observation.Write()) {
+    std::fprintf(stderr, "cannot write metrics/trace output\n");
+    return 1;
+  }
   return 0;
 }

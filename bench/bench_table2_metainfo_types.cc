@@ -7,10 +7,14 @@
 #include "src/core/crashtuner.h"
 #include "src/systems/yarn/yarn_system.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ctbench::BenchFlags flags = ctbench::ParseFlags(argc, argv);
+  ctbench::BenchObservation observation(flags);
   ctbench::PrintHeader("Table 2 — meta-info types for the Hadoop2/Yarn example");
   ctyarn::YarnSystem yarn;
-  ctcore::SystemReport report = ctcore::CrashTunerDriver().Run(yarn);
+  ctcore::DriverOptions options;
+  options.observer = observation.ObserverFor(yarn.name());
+  ctcore::SystemReport report = ctcore::CrashTunerDriver().Run(yarn, options);
 
   for (const auto& [group, members] : report.metainfo.ByGroup()) {
     std::printf("%s\n", group.c_str());
@@ -39,5 +43,10 @@ int main() {
     std::printf("%s%s ", keyword, ctanalysis::IsCollectionWriteOp(keyword) ? "" : "(!)");
   }
   std::printf("\n");
+
+  if (observation.enabled() && !observation.Write()) {
+    std::fprintf(stderr, "cannot write metrics/trace output\n");
+    return 1;
+  }
   return 0;
 }

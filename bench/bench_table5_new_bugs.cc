@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   ctbench::PrintRule();
 
   auto systems = ctbench::AllSystems();
+  ctbench::BenchObservation observation(flags);
   std::vector<ctcore::SystemReport> reports;
   int total_bug_rows = 0;
   int critical = 0;
@@ -52,7 +53,10 @@ int main(int argc, char** argv) {
   double total_test_hours = 0;
   for (const auto& system : systems) {
     ctcore::CrashTunerDriver driver;
-    reports.push_back(driver.Run(*system));
+    ctcore::DriverOptions options;
+    options.jobs = flags.jobs;
+    options.observer = observation.ObserverFor(system->name());
+    reports.push_back(driver.Run(*system, options));
     const ctcore::SystemReport& report = reports.back();
     total_test_hours += report.test_virtual_hours;
     timeout_issues += static_cast<int>(report.timeout_issues.size());
@@ -80,6 +84,11 @@ int main(int argc, char** argv) {
   std::printf("total testing time: %.2f virtual hours (paper: 17.39 h max per system on a real "
               "3-node cluster)\n",
               total_test_hours);
+
+  if (observation.enabled() && !observation.Write()) {
+    std::fprintf(stderr, "cannot write metrics/trace output\n");
+    return 1;
+  }
 
   if (!flags.speedup) {
     return 0;

@@ -2,7 +2,11 @@
 #include "bench/bench_util.h"
 #include "src/study/bug_study.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Study tables only — no campaign runs here, so --metrics-out/--trace-out
+  // produce empty (but well-formed) outputs.
+  ctbench::BenchFlags flags = ctbench::ParseFlags(argc, argv);
+  ctbench::BenchObservation observation(flags);
   ctbench::PrintHeader("Table 6 — complexity of fixing new bugs vs CREB bugs");
   std::printf("%-12s %14s %14s %14s %12s\n", "", "LOC/patch", "patches/bug", "days-to-fix",
               "comments");
@@ -29,5 +33,10 @@ int main() {
   std::printf("\nAll %zu bugs are triggered at meta-info access points (§4.4): the\n"
               "meta-info abstraction transfers beyond the JVM ecosystem.\n",
               ctstudy::KubernetesBugs().size());
+
+  if (observation.enabled() && !observation.Write()) {
+    std::fprintf(stderr, "cannot write metrics/trace output\n");
+    return 1;
+  }
   return 0;
 }

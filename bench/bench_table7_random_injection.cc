@@ -51,6 +51,7 @@ int FirstRaceTrial(const ctcore::SystemUnderTest& system,
 
 int main(int argc, char** argv) {
   ctbench::BenchFlags flags = ctbench::ParseFlags(argc, argv);
+  ctbench::BenchObservation observation(flags);
   int trials = flags.positional.empty() ? 300 : std::atoi(flags.positional[0].c_str());
 
   ctbench::PrintHeader("Table 7 — random crash injection (" + std::to_string(trials) +
@@ -94,6 +95,7 @@ int main(int argc, char** argv) {
     ctcore::DriverOptions options;
     options.injection_mode = ctcore::InjectionMode::kNetworkFault;
     options.jobs = flags.jobs;
+    options.observer = observation.ObserverFor(system->name() + "/netfault");
     ctcore::SystemReport guided = ctcore::CrashTunerDriver().Run(*system, options);
     row.guided_injections = static_cast<int>(guided.injections.size());
     for (const auto& bug : guided.bugs) {
@@ -146,6 +148,11 @@ int main(int argc, char** argv) {
     std::ofstream out(flags.json_path);
     out << json.str() << "\n";
     std::printf("wrote %s\n", flags.json_path.c_str());
+  }
+
+  if (observation.enabled() && !observation.Write()) {
+    std::fprintf(stderr, "cannot write metrics/trace output\n");
+    return 1;
   }
   return 0;
 }

@@ -6,7 +6,12 @@
 // bug within reach is YARN-9201, whose window happens to contain an IO call.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // The IO baseline drives runs through IoFaultInjector, not the campaign
+  // driver, so --metrics-out/--trace-out produce empty (but well-formed)
+  // outputs; the flags are still accepted for CI uniformity.
+  ctbench::BenchFlags flags = ctbench::ParseFlags(argc, argv);
+  ctbench::BenchObservation observation(flags);
   ctbench::PrintHeader("Table 8 — IO classes, methods and IO points");
   std::printf("%-14s %10s %11s %10s %11s\n", "System", "IOclasses", "IOmethods", "StaticIO",
               "DynamicIO");
@@ -41,5 +46,10 @@ int main() {
   std::printf("measured: %d issues total\n", total_bugs);
   std::printf("paper   : 1 bug (YARN-9201, 6 times); IO exceptions elsewhere are handled\n"
               "          (e.g. the HDFS LogHeaderCorruptException the standby truncates)\n");
+
+  if (observation.enabled() && !observation.Write()) {
+    std::fprintf(stderr, "cannot write metrics/trace output\n");
+    return 1;
+  }
   return 0;
 }

@@ -6,13 +6,18 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/baselines.h"
 #include "src/core/crashtuner.h"
 #include "src/core/system_under_test.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/observer.h"
+#include "src/obs/snapshot.h"
 #include "src/systems/cassandra/cass_system.h"
 #include "src/systems/hbase/hbase_system.h"
 #include "src/systems/hdfs/hdfs_system.h"
@@ -44,17 +49,25 @@ inline void PrintRule() {
 
 // Flags shared by the bench binaries: `--jobs N` (campaign worker threads,
 // 0 = hardware concurrency), `--speedup` (time the campaign sequential vs
-// parallel), `--json FILE` (machine-readable results for CI). Anything else
-// stays positional for the bench's own arguments.
+// parallel), `--json FILE` (machine-readable results for CI),
+// `--metrics-out FILE` (campaign metrics snapshot, see src/obs/snapshot.h)
+// and `--trace-out FILE` (Chrome-trace export for Perfetto). The two
+// observability flags also accept `--flag=value` form. Anything else stays
+// positional for the bench's own arguments.
 struct BenchFlags {
   int jobs = 1;
   bool speedup = false;
   std::string json_path;
+  std::string metrics_out;
+  std::string trace_out;
   std::vector<std::string> positional;
 };
 
 inline BenchFlags ParseFlags(int argc, char** argv) {
   BenchFlags flags;
+  auto starts_with = [](const std::string& text, const std::string& prefix) {
+    return text.compare(0, prefix.size(), prefix) == 0;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--jobs" && i + 1 < argc) {
@@ -63,12 +76,75 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
       flags.speedup = true;
     } else if (arg == "--json" && i + 1 < argc) {
       flags.json_path = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      flags.metrics_out = argv[++i];
+    } else if (starts_with(arg, "--metrics-out=")) {
+      flags.metrics_out = arg.substr(std::string("--metrics-out=").size());
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      flags.trace_out = argv[++i];
+    } else if (starts_with(arg, "--trace-out=")) {
+      flags.trace_out = arg.substr(std::string("--trace-out=").size());
     } else {
       flags.positional.push_back(arg);
     }
   }
   return flags;
 }
+
+// Bench-side observability plumbing for --metrics-out / --trace-out. A bench
+// asks for one observer per campaign it runs (ObserverFor returns null when
+// neither flag was given, and DriverOptions::observer accepts null, so
+// unobserved invocations cost nothing), then calls Write() once at the end
+// to emit the snapshot and/or Chrome trace covering every campaign.
+class BenchObservation {
+ public:
+  explicit BenchObservation(const BenchFlags& flags)
+      : metrics_out_(flags.metrics_out), trace_out_(flags.trace_out) {}
+
+  bool enabled() const { return !metrics_out_.empty() || !trace_out_.empty(); }
+
+  // A fresh observer labeled `name` (duplicates get "#2", "#3", ... so
+  // benches that run the same system twice keep both campaigns). Null when
+  // observability is off.
+  ctobs::CampaignObserver* ObserverFor(const std::string& name) {
+    if (!enabled()) {
+      return nullptr;
+    }
+    int uses = ++name_uses_[name];
+    std::string label = uses == 1 ? name : name + "#" + std::to_string(uses);
+    observers_.emplace_back(label, std::make_unique<ctobs::CampaignObserver>());
+    return observers_.back().second.get();
+  }
+
+  // Emits the requested files. Returns false if any write failed.
+  bool Write() const {
+    bool ok = true;
+    if (!metrics_out_.empty()) {
+      ctobs::MetricsSnapshot snapshot;
+      for (const auto& [label, observer] : observers_) {
+        ctobs::SystemMetrics system = observer->Finalize();
+        system.system = label;  // the bench's label, not the driver's
+        snapshot.systems.push_back(std::move(system));
+      }
+      ok = snapshot.WriteFile(metrics_out_) && ok;
+    }
+    if (!trace_out_.empty()) {
+      ctobs::ChromeTraceWriter writer;
+      int pid = 1;
+      for (const auto& [label, observer] : observers_) {
+        observer->AppendChromeTrace(&writer, pid++, label);
+      }
+      ok = writer.WriteFile(trace_out_) && ok;
+    }
+    return ok;
+  }
+
+ private:
+  std::string metrics_out_;
+  std::string trace_out_;
+  std::map<std::string, int> name_uses_;
+  std::vector<std::pair<std::string, std::unique_ptr<ctobs::CampaignObserver>>> observers_;
+};
 
 }  // namespace ctbench
 

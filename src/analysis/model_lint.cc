@@ -202,6 +202,55 @@ LintResult LintModel(const ctmodel::ProgramModel& model) {
     }
   }
 
+  // Span declarations must be well-formed, and every fault window the model
+  // declares — both points of each multi-crash pair and each network-fault
+  // window's anchor — must map to a declared observability span, so campaign
+  // traces render those injections under a stable human-readable name rather
+  // than a raw frame string.
+  std::set<std::string> span_names;
+  for (size_t i = 0; i < model.spans().size(); ++i) {
+    const ctmodel::SpanDecl& span = model.spans()[i];
+    const std::string subject = "span#" + std::to_string(i) + " ('" + span.name + "')";
+    if (span.name.empty()) {
+      report("window-without-span-anchor", subject, "span has an empty name");
+    } else if (!span_names.insert(span.name).second) {
+      report("window-without-span-anchor", subject,
+             "span name '" + span.name + "' is declared more than once");
+    }
+    if (model.FindMethod(span.method) == nullptr) {
+      report("window-without-span-anchor", subject,
+             "span method '" + span.method + "' is not a declared method");
+    }
+  }
+  auto require_span = [&](const std::string& subject, int point_id) {
+    if (point_id < 0 || point_id >= num_points) {
+      return;  // the range violation is already reported by the window checks
+    }
+    const ctmodel::AccessPointDecl& point = model.access_point(point_id);
+    if (!point.executable) {
+      return;  // ditto: un-armable windows are someone else's finding
+    }
+    const std::string anchor = ctmodel::ProgramModel::ContextMethodOf(point);
+    if (model.FindSpanForMethod(anchor) == nullptr) {
+      report("window-without-span-anchor", subject,
+             "anchor method '" + anchor + "' has no declared span (AddSpan)");
+    }
+  };
+  for (size_t i = 0; i < model.multi_crash_pairs().size(); ++i) {
+    const ctmodel::MultiCrashPairDecl& pair = model.multi_crash_pairs()[i];
+    const std::string subject = "pair#" + std::to_string(i) + " (" +
+                                std::to_string(pair.first_point) + " -> " +
+                                std::to_string(pair.second_point) + ")";
+    require_span(subject, pair.first_point);
+    require_span(subject, pair.second_point);
+  }
+  for (size_t i = 0; i < model.network_fault_windows().size(); ++i) {
+    const ctmodel::NetworkFaultWindowDecl& window = model.network_fault_windows()[i];
+    require_span("netwindow#" + std::to_string(i) + " (point " +
+                     std::to_string(window.point) + ")",
+                 window.point);
+  }
+
   // IO points get the same treatment as access points: their method pair must
   // be declared, and executable callsites must be declared, reachable methods.
   std::set<std::pair<std::string, std::string>> declared_io_methods;

@@ -41,6 +41,14 @@
 //                        (the heal coincides with the cut and nothing is ever
 //                        dropped); or an empty bug id (the window would have
 //                        no ground truth to assert against)
+//   window-without-span-anchor
+//                        malformed span declaration (empty or duplicate name,
+//                        undeclared method), or a declared fault window —
+//                        either point of a multi-crash pair, or a
+//                        network-fault window's anchor — whose armable anchor
+//                        method has no SpanDecl: its injection phase would
+//                        render in campaign traces under a raw frame string
+//                        instead of the model's vocabulary
 //
 // `tools/ctlint` runs this over all five shipped models in CI.
 #ifndef SRC_ANALYSIS_MODEL_LINT_H_

@@ -2,8 +2,12 @@
 
 #include <chrono>
 #include <map>
+#include <memory>
 
 #include "src/common/strings.h"
+#include "src/core/campaign.h"
+#include "src/obs/observer.h"
+#include "src/obs/span.h"
 
 namespace ctcore {
 
@@ -112,6 +116,12 @@ SystemReport CrashTunerDriver::Run(const SystemUnderTest& system,
 
   auto wall_start = std::chrono::steady_clock::now();
 
+  // Driver-level phase spans are wall-only (no event loop at this level);
+  // they land on the observer's Chrome-trace "driver" thread.
+  ctobs::RunObserver* driver_obs =
+      options.observer != nullptr ? &options.observer->driver_observer() : nullptr;
+  auto driver_span = std::make_unique<ctobs::ScopedSpan>(driver_obs, nullptr, "analysis", "driver");
+
   // --- Phase 1a: collect logs with an uninstrumented run. -------------------
   // The run's own tracer starts in kOff; no global reset needed.
   auto log_run = system.NewRun(system.default_workload_size(), options.seed);
@@ -141,6 +151,10 @@ SystemReport CrashTunerDriver::Run(const SystemUnderTest& system,
 
   report.analysis_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  driver_span.reset();  // close "analysis" before "profile" opens: spans on
+                        // the driver thread must not overlap
+  driver_span = std::make_unique<ctobs::ScopedSpan>(driver_obs, nullptr, "profile", "driver");
 
   // --- Phase 1c: dynamic crash points (profiled or enumerated). -------------
   Profiler profiler;
@@ -207,11 +221,20 @@ SystemReport CrashTunerDriver::Run(const SystemUnderTest& system,
   }
   tester.set_record_store(options.record_traces);
   tester.set_replay_store(options.replay_traces);
+  tester.set_observer(options.observer);
+  driver_span.reset();
+  driver_span = std::make_unique<ctobs::ScopedSpan>(driver_obs, nullptr, "campaign", "driver");
   auto test_wall_start = std::chrono::steady_clock::now();
   report.injections = tester.TestAll(report.profile, options.seed + 1000, options.jobs);
   report.test_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - test_wall_start).count();
   report.test_virtual_hours = static_cast<double>(tester.total_virtual_ms()) / 3'600'000.0;
+  driver_span.reset();
+  if (options.observer != nullptr) {
+    options.observer->set_system(report.system);
+    options.observer->set_jobs(ResolveJobs(options.jobs));
+    options.observer->set_campaign_wall_seconds(report.test_wall_seconds);
+  }
 
   // --- Reporting. ------------------------------------------------------------
   report.total_types = model.NumTypes();

@@ -21,6 +21,10 @@
 #include "src/core/system_under_test.h"
 #include "src/core/trigger.h"
 
+namespace ctobs {
+class CampaignObserver;
+}  // namespace ctobs
+
 namespace ctcore {
 
 // One detected bug after deduplication (several dynamic points can expose the
@@ -132,6 +136,12 @@ struct DriverOptions {
   // trace and the driver throws ctsim::TraceDivergence on any departure.
   TraceStore* record_traces = nullptr;
   const TraceStore* replay_traces = nullptr;
+  // Campaign observability (may be null). When set, the driver opens
+  // wall-clock spans around its own phases (analysis, profile, campaign),
+  // every Phase-2 run records phase spans + metrics into it, and the driver
+  // stamps system/jobs/campaign-wall metadata at the end. Observation is
+  // passive: the report and its trace hash are byte-identical either way.
+  ctobs::CampaignObserver* observer = nullptr;
 };
 
 class CrashTunerDriver {

@@ -1,6 +1,9 @@
 #include "src/core/executor.h"
 
+#include <memory>
+
 #include "src/common/check.h"
+#include "src/obs/span.h"
 
 namespace ctcore {
 
@@ -35,25 +38,35 @@ RunOutcome Executor::Execute(WorkloadRun& run, const OracleBaseline* baseline) {
   const ctsim::Time timeout_deadline = start + expected * kTimeoutFactor;
   const ctsim::Time hang_deadline = start + expected * kHangFactor;
 
-  cluster.StartAll();
-  run.Start();
-
-  bool over_timeout = false;
-  while (!run.JobFinished() && !run.JobFailed() && !cluster.cluster_down()) {
-    if (loop.Now() > hang_deadline || loop.pending_events() == 0) {
-      break;
-    }
-    if (loop.Now() > timeout_deadline) {
-      over_timeout = true;  // keep running: distinguishes timeout from hang
-    }
-    loop.RunOne();
+  ctobs::RunObserver* observer = &run.context().observer();
+  {
+    ctobs::ScopedSpan boot(observer, &loop, "boot", "phase");
+    cluster.StartAll();
   }
 
-  // Grace drain: the cluster keeps running briefly after the client sees the
-  // job finish, so post-completion bookkeeping (application cleanup, final
-  // releases) executes and its crash points are observable.
-  if (run.JobFinished() && !cluster.cluster_down()) {
-    loop.RunFor(3000);
+  bool over_timeout = false;
+  {
+    ctobs::ScopedSpan workload(observer, &loop, "workload", "phase");
+    run.Start();
+    while (!run.JobFinished() && !run.JobFailed() && !cluster.cluster_down()) {
+      if (loop.Now() > hang_deadline || loop.pending_events() == 0) {
+        break;
+      }
+      if (loop.Now() > timeout_deadline) {
+        over_timeout = true;  // keep running: distinguishes timeout from hang
+      }
+      loop.RunOne();
+    }
+  }
+
+  {
+    ctobs::ScopedSpan recovery(observer, &loop, "recovery-check", "phase");
+    // Grace drain: the cluster keeps running briefly after the client sees the
+    // job finish, so post-completion bookkeeping (application cleanup, final
+    // releases) executes and its crash points are observable.
+    if (run.JobFinished() && !cluster.cluster_down()) {
+      loop.RunFor(3000);
+    }
   }
 
   outcome.virtual_duration_ms = loop.Now() - start;
@@ -69,6 +82,27 @@ RunOutcome Executor::Execute(WorkloadRun& run, const OracleBaseline* baseline) {
         outcome.uncommon_exceptions.push_back(type + ": " + message);
       }
     }
+  }
+
+  if (observer->enabled()) {
+    // Copy the simulator's native counters into the run's shard. All of these
+    // are derived from virtual-time events, so the aggregated values are
+    // independent of how runs were spread over worker threads.
+    ctobs::MetricsShard& metrics = observer->metrics();
+    metrics.Add("run.count");
+    metrics.Add("events.dispatched", loop.executed_events());
+    metrics.Add("events.skipped_dead_owner", loop.skipped_dead_owner_events());
+    metrics.Add("messages.delivered", cluster.delivered_messages());
+    metrics.Add("messages.dropped_dead", cluster.dropped_messages());
+    metrics.Add("messages.dropped_plan", cluster.plan_dropped_messages());
+    metrics.Add("messages.duplicated", cluster.duplicated_messages());
+    metrics.Add("messages.delayed", cluster.delayed_messages());
+    metrics.Add("messages.heartbeats", cluster.heartbeat_messages());
+    metrics.Add("partition.epochs", static_cast<uint64_t>(cluster.partition_epochs()));
+    metrics.Add("faults.crashes", static_cast<uint64_t>(cluster.crash_count()));
+    metrics.Add("faults.shutdowns", static_cast<uint64_t>(cluster.shutdown_count()));
+    metrics.SetGauge("cluster.nodes", static_cast<int64_t>(cluster.nodes().size()));
+    metrics.Observe("run.virtual_ms", outcome.virtual_duration_ms);
   }
   return outcome;
 }

@@ -1,13 +1,27 @@
 #include "src/core/trigger.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "src/core/campaign.h"
+#include "src/obs/observer.h"
+#include "src/obs/span.h"
 #include "src/sim/exception.h"
 
 namespace ctcore {
+
+namespace {
+
+// "cluster down" -> "cluster_down": metric names stay shell-friendly.
+std::string MetricName(std::string text) {
+  std::replace(text.begin(), text.end(), ' ', '_');
+  return text;
+}
+
+}  // namespace
 
 InjectionResult FaultInjectionTester::TestPoint(const ctrt::DynamicPoint& point,
                                                 ctanalysis::CrashPointKind kind, uint64_t seed,
@@ -42,17 +56,36 @@ InjectionResult FaultInjectionTester::TestPoint(const ctrt::DynamicPoint& point,
   ctsim::Cluster& cluster = run->cluster();
   cluster.set_trace_recorder(&recorder);
 
+  // Campaign observability: enable the run's observer so the phase spans the
+  // executor opens, the injection span below, and the end-of-run counter copy
+  // all record. Purely passive — no RNG draws, no scheduled events — so the
+  // run's trace and hash are unchanged.
+  ctobs::RunObserver* run_observer = &run->context().observer();
+  if (observer_ != nullptr && trace_slot >= 0) {
+    run_observer->Enable();
+  }
+  // Injection spans carry the model's vocabulary: the anchor frame of the
+  // armed point, renamed by a SpanDecl when the model declares one.
+  const ctmodel::ProgramModel& model = system_->model();
+  std::string anchor = ctmodel::ProgramModel::ContextMethodOf(model.access_point(point.point_id));
+  const ctmodel::SpanDecl* span_decl = model.FindSpanForMethod(anchor);
+  const std::string injection_span_name =
+      "inject:" + (span_decl != nullptr ? span_decl->name : anchor);
+
   // Online log analysis: one agent per node feeding the custom stash.
   ctlog::CustomStash stash(filter_);
   std::vector<std::unique_ptr<ctlog::LogstashAgent>> agents;
-  for (const auto& node_id : cluster.node_ids()) {
-    agents.push_back(std::make_unique<ctlog::LogstashAgent>(node_id, &stash));
-  }
-  cluster.logs().Subscribe([&agents](const ctlog::Instance& instance) {
-    for (auto& agent : agents) {
-      agent->OnInstance(instance);
+  {
+    ctobs::ScopedSpan arm(run_observer, &cluster.loop(), "window-arm", "phase");
+    for (const auto& node_id : cluster.node_ids()) {
+      agents.push_back(std::make_unique<ctlog::LogstashAgent>(node_id, &stash));
     }
-  });
+    cluster.logs().Subscribe([&agents](const ctlog::Instance& instance) {
+      for (auto& agent : agents) {
+        agent->OnInstance(instance);
+      }
+    });
+  }
 
   // Control-center callback (Fig. 7): resolve the accessed value to a node
   // and inject the fault. Armed on the run's own tracer, so concurrent
@@ -72,6 +105,13 @@ InjectionResult FaultInjectionTester::TestPoint(const ctrt::DynamicPoint& point,
     }
     result.injected = true;
     result.target_node = *target;
+    // The span covers the fault action itself — for pre-read points that
+    // includes the recovery wait window; closure is exception-safe, so a
+    // NodeCrashedSignal unwinding through here still ends the span.
+    ctobs::ScopedSpan inject(run_observer, &cluster.loop(), injection_span_name, "injection");
+    inject.AddArg("point", std::to_string(point.point_id));
+    inject.AddArg("anchor", anchor);
+    inject.AddArg("target", *target);
     if (mode_ == InjectionMode::kNetworkFault) {
       // Fault-on-appearance: cut the target off for the window instead of
       // killing it. The failure detector expires it, recovery starts, then
@@ -108,6 +148,22 @@ InjectionResult FaultInjectionTester::TestPoint(const ctrt::DynamicPoint& point,
   result.trace_hash = recorder.trace().Hash();
   if (record_store_ != nullptr && trace_slot >= 0) {
     record_store_->Put(trace_slot, recorder.trace());
+  }
+
+  if (observer_ != nullptr && trace_slot >= 0) {
+    ctobs::MetricsShard& metrics = run_observer->metrics();
+    if (result.point_hit) {
+      metrics.Add("injection.point_hit");
+    }
+    if (result.injected) {
+      metrics.Add("injection.injected");
+    }
+    metrics.Add("outcome." + MetricName(result.outcome.PrimarySymptom()));
+    if (expected != nullptr) {
+      metrics.Add("runs.replayed");
+    }
+    metrics.Add("trace.events", recorder.trace().size());
+    observer_->AbsorbRun(trace_slot, *run_observer);
   }
   // No reset needed: the tracer — armed trigger and all — dies with the run.
   return result;

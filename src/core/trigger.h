@@ -34,6 +34,10 @@
 #include "src/runtime/tracer.h"
 #include "src/sim/trace.h"
 
+namespace ctobs {
+class CampaignObserver;
+}  // namespace ctobs
+
 namespace ctcore {
 
 // What the trigger does to the resolved target node.
@@ -118,6 +122,14 @@ class FaultInjectionTester {
   void set_record_store(TraceStore* store) { record_store_ = store; }
   void set_replay_store(const TraceStore* store) { replay_store_ = store; }
 
+  // Campaign observability. When set, every campaign run (trace_slot >= 0)
+  // gets its RunObserver enabled — phase spans, a model-named injection span,
+  // and the simulator counters — and is absorbed into the observer under its
+  // injection slot after the run retires. Observation is passive: it draws no
+  // random numbers and schedules no events, so results, traces and hashes
+  // are bit-identical with or without it.
+  void set_observer(ctobs::CampaignObserver* observer) { observer_ = observer; }
+
   // Tests one dynamic crash point; `kind` comes from its static point. Safe
   // to call concurrently: each call owns its run (and the run its tracer).
   // `trace_slot` keys the record/replay stores (injection index; -1 when the
@@ -146,6 +158,7 @@ class FaultInjectionTester {
   ctsim::Time default_partition_ms_ = 2500;
   TraceStore* record_store_ = nullptr;
   const TraceStore* replay_store_ = nullptr;
+  ctobs::CampaignObserver* observer_ = nullptr;
   // Atomic: concurrent TestPoint calls accumulate into it. Integer addition
   // commutes, so the total is thread-count independent.
   std::atomic<ctsim::Time> total_virtual_ms_{0};

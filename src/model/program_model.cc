@@ -56,6 +56,17 @@ void ProgramModel::AddNetworkFaultWindow(NetworkFaultWindowDecl window) {
   network_fault_windows_.push_back(std::move(window));
 }
 
+void ProgramModel::AddSpan(SpanDecl span) { spans_.push_back(std::move(span)); }
+
+const SpanDecl* ProgramModel::FindSpanForMethod(const std::string& method) const {
+  for (const auto& span : spans_) {
+    if (span.method == method) {
+      return &span;
+    }
+  }
+  return nullptr;
+}
+
 const TypeDecl* ProgramModel::FindType(const std::string& name) const {
   auto it = type_index_.find(name);
   return it == type_index_.end() ? nullptr : &types_[it->second];

@@ -148,6 +148,18 @@ struct NetworkFaultWindowDecl {
   std::string note;          // the race the window targets
 };
 
+// A model-declared observability span: a stable human-readable name for the
+// injection phase anchored at `method` (the ContextMethodOf an access point).
+// The campaign observer labels each injection span "inject:<name>" so traces
+// read in the system's vocabulary instead of raw frame strings. ctlint's
+// window-without-span-anchor check requires every multi-crash pair point and
+// network-fault window anchor to resolve to a declared span.
+struct SpanDecl {
+  std::string name;    // e.g. "rm.register-node"
+  std::string method;  // anchor frame, "Class.method"
+  std::string note;    // what the phase covers (docs only)
+};
+
 class ProgramModel {
  public:
   explicit ProgramModel(std::string system_name) : system_name_(std::move(system_name)) {}
@@ -166,6 +178,7 @@ class ProgramModel {
   int AddIoPoint(IoPointDecl point);
   void AddMultiCrashPair(MultiCrashPairDecl pair);
   void AddNetworkFaultWindow(NetworkFaultWindowDecl window);
+  void AddSpan(SpanDecl span);
 
   // --- Queries -------------------------------------------------------------
   const TypeDecl* FindType(const std::string& name) const;
@@ -177,6 +190,9 @@ class ProgramModel {
   // Innermost runtime frame for an access point: context_method if set,
   // otherwise "clazz.method".
   static std::string ContextMethodOf(const AccessPointDecl& point);
+
+  // First span declared for `method`, or null.
+  const SpanDecl* FindSpanForMethod(const std::string& method) const;
 
   // True if `name` equals `ancestor` or transitively extends it.
   bool IsSubtypeOf(const std::string& name, const std::string& ancestor) const;
@@ -203,6 +219,7 @@ class ProgramModel {
   const std::vector<NetworkFaultWindowDecl>& network_fault_windows() const {
     return network_fault_windows_;
   }
+  const std::vector<SpanDecl>& spans() const { return spans_; }
 
   // Table 10 / Table 8 totals.
   int NumTypes() const { return static_cast<int>(types_.size()); }
@@ -215,6 +232,7 @@ class ProgramModel {
   int NumIoPoints() const { return static_cast<int>(io_points_.size()); }
   int NumMultiCrashPairs() const { return static_cast<int>(multi_crash_pairs_.size()); }
   int NumNetworkFaultWindows() const { return static_cast<int>(network_fault_windows_.size()); }
+  int NumSpans() const { return static_cast<int>(spans_.size()); }
 
  private:
   std::string system_name_;
@@ -231,6 +249,7 @@ class ProgramModel {
   std::vector<IoPointDecl> io_points_;
   std::vector<MultiCrashPairDecl> multi_crash_pairs_;
   std::vector<NetworkFaultWindowDecl> network_fault_windows_;
+  std::vector<SpanDecl> spans_;
 };
 
 }  // namespace ctmodel

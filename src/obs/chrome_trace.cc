@@ -1,0 +1,97 @@
+#include "src/obs/chrome_trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ctobs {
+
+namespace {
+
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatUs(double us) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", us);
+  return buffer;
+}
+
+}  // namespace
+
+void ChromeTraceWriter::AddProcessName(int pid, const std::string& name) {
+  std::ostringstream out;
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+      << ",\"tid\":0,\"args\":{\"name\":\"" << EscapeJson(name) << "\"}}";
+  events_.push_back(out.str());
+}
+
+void ChromeTraceWriter::AddThreadName(int pid, int tid, const std::string& name) {
+  std::ostringstream out;
+  out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+      << ",\"args\":{\"name\":\"" << EscapeJson(name) << "\"}}";
+  events_.push_back(out.str());
+}
+
+void ChromeTraceWriter::AddCompleteEvent(int pid, int tid, const SpanEvent& event, double ts_us,
+                                         double dur_us) {
+  std::ostringstream out;
+  out << "{\"name\":\"" << EscapeJson(event.name) << "\",\"cat\":\""
+      << EscapeJson(event.category) << "\",\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+      << ",\"ts\":" << FormatUs(ts_us) << ",\"dur\":" << FormatUs(dur_us) << ",\"args\":{";
+  out << "\"wall_ms\":" << FormatUs(static_cast<double>(event.wall_end_ns - event.wall_begin_ns) /
+                                    1e6);
+  for (const auto& [key, value] : event.args) {
+    out << ",\"" << EscapeJson(key) << "\":\"" << EscapeJson(value) << "\"";
+  }
+  out << "}}";
+  events_.push_back(out.str());
+}
+
+std::string ChromeTraceWriter::ToJson() const {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    out << "\n" << events_[i];
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+bool ChromeTraceWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << ToJson() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace ctobs

@@ -1,0 +1,40 @@
+// Chrome-trace-event export (Perfetto-loadable).
+//
+// Serializes campaign spans into the Trace Event Format's JSON object form
+// ({"traceEvents":[...]}): one process per observed campaign/system, one
+// thread per injection slot on the virtual-time axis, and a "driver" thread
+// on a normalized wall axis. chrome://tracing and ui.perfetto.dev both open
+// the result directly.
+#ifndef SRC_OBS_CHROME_TRACE_H_
+#define SRC_OBS_CHROME_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/span.h"
+
+namespace ctobs {
+
+class ChromeTraceWriter {
+ public:
+  void AddProcessName(int pid, const std::string& name);
+  void AddThreadName(int pid, int tid, const std::string& name);
+
+  // "X" (complete) event. `ts_us`/`dur_us` are microseconds on whichever
+  // axis the caller placed the thread on; `wall_ms` is attached to the args
+  // for reference alongside the span's own args.
+  void AddCompleteEvent(int pid, int tid, const SpanEvent& event, double ts_us,
+                        double dur_us);
+
+  std::string ToJson() const;
+  bool WriteFile(const std::string& path) const;
+
+  size_t num_events() const { return events_.size(); }
+
+ private:
+  std::vector<std::string> events_;  // pre-serialized JSON objects
+};
+
+}  // namespace ctobs
+
+#endif  // SRC_OBS_CHROME_TRACE_H_

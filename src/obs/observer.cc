@@ -1,0 +1,79 @@
+#include "src/obs/observer.h"
+
+#include "src/obs/chrome_trace.h"
+#include "src/obs/snapshot.h"
+
+namespace ctobs {
+
+void CampaignObserver::AbsorbRun(int slot, const RunObserver& run) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_.shard(slot) = run.metrics();
+  spans_by_slot_[slot] = run.spans().events();
+}
+
+int CampaignObserver::runs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return registry_.num_shards();
+}
+
+SystemMetrics CampaignObserver::Finalize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SystemMetrics out;
+  out.system = system_;
+  out.jobs = jobs_;
+  out.campaign_wall_seconds = campaign_wall_seconds_;
+  out.runs = registry_.num_shards();
+  out.metrics = registry_.Aggregate();
+  // Fold spans into per-phase sim-time histograms, walking slots in index
+  // order; wall durations go into the nondeterministic sidecar maps. Model-
+  // named injection spans share one "phase.injection" histogram and keep
+  // their identity as per-span counters.
+  for (const auto& [slot, events] : spans_by_slot_) {
+    for (const SpanEvent& event : events) {
+      if (event.category == "injection") {
+        out.metrics.Observe("phase.injection", event.sim_duration_ms());
+        out.metrics.Add("span." + event.name);
+        out.phase_wall_seconds["injection"] += event.wall_seconds();
+      } else {
+        out.metrics.Observe("phase." + event.name, event.sim_duration_ms());
+        out.phase_wall_seconds[event.name] += event.wall_seconds();
+      }
+    }
+  }
+  for (const SpanEvent& event : driver_observer_.spans().events()) {
+    out.driver_wall_seconds[event.name] += event.wall_seconds();
+  }
+  return out;
+}
+
+void CampaignObserver::AppendChromeTrace(ChromeTraceWriter* writer, int pid,
+                                         const std::string& process_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  writer->AddProcessName(pid, process_name);
+  // Driver phases on a wall axis normalized to the earliest driver span.
+  const auto& driver_events = driver_observer_.spans().events();
+  if (!driver_events.empty()) {
+    writer->AddThreadName(pid, 0, "driver (wall)");
+    uint64_t origin_ns = driver_events.front().wall_begin_ns;
+    for (const SpanEvent& event : driver_events) {
+      origin_ns = std::min(origin_ns, event.wall_begin_ns);
+    }
+    for (const SpanEvent& event : driver_events) {
+      writer->AddCompleteEvent(pid, 0, event,
+                               static_cast<double>(event.wall_begin_ns - origin_ns) / 1e3,
+                               static_cast<double>(event.wall_end_ns - event.wall_begin_ns) /
+                                   1e3);
+    }
+  }
+  // One thread per injection slot on the virtual-time axis (deterministic).
+  for (const auto& [slot, events] : spans_by_slot_) {
+    const int tid = slot + 1;
+    writer->AddThreadName(pid, tid, "run #" + std::to_string(slot) + " (virtual)");
+    for (const SpanEvent& event : events) {
+      writer->AddCompleteEvent(pid, tid, event, static_cast<double>(event.sim_begin_ms) * 1e3,
+                               static_cast<double>(event.sim_duration_ms()) * 1e3);
+    }
+  }
+}
+
+}  // namespace ctobs

@@ -1,0 +1,85 @@
+// Per-run and per-campaign observation state.
+//
+// A RunObserver is owned by the run's RunContext, exactly like the tracer:
+// one metrics shard plus one span recorder, born disabled so profiling and
+// baseline runs pay nothing. The campaign tester enables it for observed
+// injection runs and, after the run retires, absorbs it into the
+// CampaignObserver under the run's injection slot. Aggregation walks slots
+// in index order (MetricsRegistry::Aggregate), so the deterministic half of
+// the resulting snapshot is byte-identical at any --jobs count.
+#ifndef SRC_OBS_OBSERVER_H_
+#define SRC_OBS_OBSERVER_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+
+namespace ctobs {
+
+class ChromeTraceWriter;
+struct SystemMetrics;
+
+class RunObserver {
+ public:
+  bool enabled() const { return enabled_; }
+  void Enable() { enabled_ = true; }
+
+  MetricsShard& metrics() { return metrics_; }
+  const MetricsShard& metrics() const { return metrics_; }
+  SpanRecorder& spans() { return spans_; }
+  const SpanRecorder& spans() const { return spans_; }
+
+ private:
+  bool enabled_ = false;
+  MetricsShard metrics_;
+  SpanRecorder spans_;
+};
+
+// Collects one campaign's observation: per-slot run shards and spans, plus
+// the driver's own wall-clock phase spans (analysis, profile, campaign).
+// AbsorbRun is thread-safe; everything else is called from the driver
+// thread before or after the campaign fan-out.
+class CampaignObserver {
+ public:
+  CampaignObserver() { driver_observer_.Enable(); }
+
+  // Stores the run's shard and spans under `slot` (the injection index).
+  void AbsorbRun(int slot, const RunObserver& run);
+
+  // Driver-level observer for wall-only phase spans; always enabled.
+  RunObserver& driver_observer() { return driver_observer_; }
+
+  void set_system(std::string system) { system_ = std::move(system); }
+  void set_jobs(int jobs) { jobs_ = jobs; }
+  void set_campaign_wall_seconds(double seconds) { campaign_wall_seconds_ = seconds; }
+
+  const std::string& system() const { return system_; }
+  int runs() const;
+
+  // Index-ordered merge of everything absorbed: deterministic counters,
+  // gauges and histograms (including per-phase sim-time histograms derived
+  // from the spans) plus the wall-clock sidecar fields.
+  SystemMetrics Finalize() const;
+
+  // Emits this campaign as one Chrome-trace process: one thread per run
+  // slot on the virtual-time axis, plus a driver thread on the wall axis.
+  void AppendChromeTrace(ChromeTraceWriter* writer, int pid,
+                         const std::string& process_name) const;
+
+ private:
+  mutable std::mutex mu_;
+  MetricsRegistry registry_;
+  std::map<int, std::vector<SpanEvent>> spans_by_slot_;
+  RunObserver driver_observer_;
+  std::string system_;
+  int jobs_ = 1;
+  double campaign_wall_seconds_ = 0;
+};
+
+}  // namespace ctobs
+
+#endif  // SRC_OBS_OBSERVER_H_

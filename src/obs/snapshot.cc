@@ -1,0 +1,132 @@
+#include "src/obs/snapshot.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ctobs {
+
+namespace {
+
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  return buffer;
+}
+
+void AppendHistogram(std::ostringstream& out, const Histogram& histogram) {
+  out << "{\"bounds\":[";
+  for (size_t i = 0; i < histogram.bounds().size(); ++i) {
+    out << (i > 0 ? "," : "") << histogram.bounds()[i];
+  }
+  out << "],\"counts\":[";
+  for (size_t i = 0; i < histogram.bucket_counts().size(); ++i) {
+    out << (i > 0 ? "," : "") << histogram.bucket_counts()[i];
+  }
+  out << "],\"count\":" << histogram.count() << ",\"sum\":" << histogram.sum()
+      << ",\"max\":" << histogram.max() << "}";
+}
+
+void AppendWallMap(std::ostringstream& out, const std::map<std::string, double>& seconds) {
+  out << "{";
+  bool first = true;
+  for (const auto& [name, value] : seconds) {
+    out << (first ? "" : ",") << "\"" << EscapeJson(name) << "\":" << FormatDouble(value);
+    first = false;
+  }
+  out << "}";
+}
+
+void AppendSystem(std::ostringstream& out, const SystemMetrics& system, bool include_wall) {
+  out << "{\"system\":\"" << EscapeJson(system.system) << "\",\"runs\":" << system.runs;
+  out << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : system.metrics.counters()) {
+    out << (first ? "" : ",") << "\"" << EscapeJson(name) << "\":" << value;
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : system.metrics.gauges()) {
+    out << (first ? "" : ",") << "\"" << EscapeJson(name) << "\":" << value;
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : system.metrics.histograms()) {
+    out << (first ? "" : ",") << "\"" << EscapeJson(name) << "\":";
+    AppendHistogram(out, histogram);
+    first = false;
+  }
+  out << "}";
+  if (include_wall) {
+    const double runs_per_second =
+        system.campaign_wall_seconds > 0
+            ? static_cast<double>(system.runs) / system.campaign_wall_seconds
+            : 0.0;
+    out << ",\"wall\":{\"jobs\":" << system.jobs
+        << ",\"campaign_seconds\":" << FormatDouble(system.campaign_wall_seconds)
+        << ",\"runs_per_second\":" << FormatDouble(runs_per_second) << ",\"phases\":";
+    AppendWallMap(out, system.phase_wall_seconds);
+    out << ",\"driver\":";
+    AppendWallMap(out, system.driver_wall_seconds);
+    out << "}";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson(bool include_wall) const {
+  std::ostringstream out;
+  out << "{\"schema\":\"" << kSnapshotSchema << "\",\"systems\":[";
+  for (size_t i = 0; i < systems.size(); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    AppendSystem(out, systems[i], include_wall);
+  }
+  out << "]}";
+  return out.str();
+}
+
+bool MetricsSnapshot::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << ToJson(/*include_wall=*/true) << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace ctobs

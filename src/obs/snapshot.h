@@ -1,0 +1,46 @@
+// Campaign metrics snapshot: the exportable form of a campaign's metrics.
+//
+// The snapshot is split along the determinism boundary. Everything derived
+// from simulator events — counters, gauges, sim-time histograms, run counts
+// — is identical at any --jobs count and serializes into the deterministic
+// section; wall-clock data (per-phase wall seconds, campaign wall time,
+// worker count) lives in a per-system "wall" object that
+// ToJson(include_wall=false) omits entirely. campaign_test diffs the
+// deterministic serialization across thread counts byte-for-byte.
+#ifndef SRC_OBS_SNAPSHOT_H_
+#define SRC_OBS_SNAPSHOT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace ctobs {
+
+inline constexpr const char* kSnapshotSchema = "crashtuner-metrics-v1";
+
+struct SystemMetrics {
+  std::string system;
+  int runs = 0;           // absorbed injection runs (deterministic)
+  MetricsShard metrics;   // deterministic counters/gauges/histograms
+
+  // Wall-clock sidecar (excluded from the deterministic section).
+  int jobs = 1;
+  double campaign_wall_seconds = 0;
+  std::map<std::string, double> phase_wall_seconds;   // run phases, summed
+  std::map<std::string, double> driver_wall_seconds;  // driver phases
+};
+
+struct MetricsSnapshot {
+  std::vector<SystemMetrics> systems;
+
+  // include_wall=false yields the deterministic section only.
+  std::string ToJson(bool include_wall = true) const;
+  // Writes ToJson(true); returns false on IO failure.
+  bool WriteFile(const std::string& path) const;
+};
+
+}  // namespace ctobs
+
+#endif  // SRC_OBS_SNAPSHOT_H_

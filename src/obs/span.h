@@ -1,0 +1,77 @@
+// Phase spans: named intervals on both clocks.
+//
+// A SpanEvent captures one phase of one run — boot, workload, window-arm,
+// injection, recovery-check — with its extent in *virtual* time (read off
+// the run's event loop; deterministic) and in *wall* time (steady_clock;
+// nondeterministic, kept strictly out of every hash and deterministic
+// snapshot section). ScopedSpan is the RAII recorder: construction opens the
+// span, destruction closes it, so a span stays correct even when the body
+// unwinds through NodeCrashedSignal.
+#ifndef SRC_OBS_SPAN_H_
+#define SRC_OBS_SPAN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ctsim {
+class EventLoop;
+}  // namespace ctsim
+
+namespace ctobs {
+
+class RunObserver;
+
+struct SpanEvent {
+  std::string name;      // "boot", "workload", "inject:<model span>", ...
+  std::string category;  // "phase" | "injection" | "driver"
+  uint64_t sim_begin_ms = 0;
+  uint64_t sim_end_ms = 0;
+  // steady_clock nanoseconds; meaningful only as differences and only
+  // within one process. Never hashed, never in deterministic output.
+  uint64_t wall_begin_ns = 0;
+  uint64_t wall_end_ns = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+
+  uint64_t sim_duration_ms() const { return sim_end_ms - sim_begin_ms; }
+  double wall_seconds() const {
+    return static_cast<double>(wall_end_ns - wall_begin_ns) / 1e9;
+  }
+};
+
+class SpanRecorder {
+ public:
+  void Append(SpanEvent event) { events_.push_back(std::move(event)); }
+  const std::vector<SpanEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<SpanEvent> events_;
+};
+
+// Opens a span on construction and records it into the observer's recorder
+// on destruction. A null observer, a disabled observer, or a null loop
+// (driver-level spans have no virtual clock; their sim extent stays 0..0)
+// all degrade gracefully; the disabled case records nothing at all, so
+// instrumented code paths cost two branches when observability is off.
+class ScopedSpan {
+ public:
+  ScopedSpan(RunObserver* observer, const ctsim::EventLoop* loop, std::string name,
+             std::string category);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Attaches a key/value pair to the span (visible in the Chrome trace).
+  void AddArg(std::string key, std::string value);
+
+ private:
+  RunObserver* observer_ = nullptr;  // null when recording is off
+  const ctsim::EventLoop* loop_ = nullptr;
+  SpanEvent event_;
+};
+
+}  // namespace ctobs
+
+#endif  // SRC_OBS_SPAN_H_

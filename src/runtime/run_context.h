@@ -17,6 +17,7 @@
 #ifndef SRC_RUNTIME_RUN_CONTEXT_H_
 #define SRC_RUNTIME_RUN_CONTEXT_H_
 
+#include "src/obs/observer.h"
 #include "src/runtime/tracer.h"
 
 namespace ctrt {
@@ -30,12 +31,19 @@ class RunContext {
   AccessTracer& tracer() { return tracer_; }
   const AccessTracer& tracer() const { return tracer_; }
 
+  // Per-run observation state (metrics shard + span recorder); disabled by
+  // default so unobserved runs pay nothing. Lives here for the same reason
+  // the tracer does: it must not outlive or leak across runs.
+  ctobs::RunObserver& observer() { return observer_; }
+  const ctobs::RunObserver& observer() const { return observer_; }
+
   // The context bound to the calling thread, or the thread's default context
   // if none is bound. Never null.
   static RunContext& Current();
 
  private:
   AccessTracer tracer_;
+  ctobs::RunObserver observer_;
 };
 
 // RAII binder: makes `context` the calling thread's current context for the

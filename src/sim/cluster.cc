@@ -105,6 +105,11 @@ void Cluster::Shutdown(const std::string& id) {
 }
 
 void Cluster::Post(Message message) {
+  // Heartbeat traffic is tallied at post time, before fault decisions, so the
+  // count reflects what the system *tried* to send under faults.
+  if (message.method.find("Heartbeat") != std::string::npos || message.method == "gossip") {
+    ++heartbeat_messages_;
+  }
   // Fault-plan decisions happen here, at schedule time, against the sender's
   // clock: a message launched into an active partition is lost even if the
   // partition would heal before the link latency elapses.
@@ -126,6 +131,9 @@ void Cluster::Post(Message message) {
       // Bounded reordering: an extra uniform delay in [0, window] lets later
       // sends overtake this one by at most the window.
       delay += net_rng_.Uniform(0, fault.reorder_window_ms);
+    }
+    if (fault.extra_delay_ms > 0 || fault.reorder_window_ms > 0) {
+      ++delayed_messages_;
     }
     if (fault.duplicate_probability > 0.0 && net_rng_.Chance(fault.duplicate_probability)) {
       Time dup_delay = latency_ms_ + fault.extra_delay_ms;
@@ -163,6 +171,7 @@ void Cluster::InstallFaultPlan(FaultPlan plan) {
   plan_ = std::move(plan);
   has_link_faults_ = !plan_.default_link.Inert() || !plan_.links.empty();
   for (const auto& directive : plan_.partitions) {
+    ++partition_epochs_;
     partitions_.push_back(directive);
     std::string members;
     for (const auto& id : directive.group) {
@@ -184,6 +193,7 @@ void Cluster::PartitionNodes(const std::vector<std::string>& group, Time duratio
   }
   TraceRecord("partition", std::to_string(directive.start_ms) + ".." +
                                std::to_string(directive.heal_ms) + " " + members);
+  ++partition_epochs_;
   partitions_.push_back(std::move(directive));
 }
 

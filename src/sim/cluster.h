@@ -110,6 +110,15 @@ class Cluster {
   uint64_t dropped_messages() const { return dropped_messages_; }
   uint64_t plan_dropped_messages() const { return plan_dropped_messages_; }
   uint64_t duplicated_messages() const { return duplicated_messages_; }
+  // Messages whose schedule-time delay was stretched by a link fault
+  // (extra latency and/or a reorder-window draw).
+  uint64_t delayed_messages() const { return delayed_messages_; }
+  // Heartbeat-class messages posted (counted before any drop decision):
+  // *Heartbeat RPC methods plus Cassandra's gossip round.
+  uint64_t heartbeat_messages() const { return heartbeat_messages_; }
+  // Partition directives installed, whether from a fault plan or dynamically
+  // via PartitionNodes.
+  int partition_epochs() const { return partition_epochs_; }
   int crash_count() const { return crash_count_; }
   int shutdown_count() const { return shutdown_count_; }
 
@@ -140,6 +149,9 @@ class Cluster {
   uint64_t dropped_messages_ = 0;
   uint64_t plan_dropped_messages_ = 0;
   uint64_t duplicated_messages_ = 0;
+  uint64_t delayed_messages_ = 0;
+  uint64_t heartbeat_messages_ = 0;
+  int partition_epochs_ = 0;
   int crash_count_ = 0;
   int shutdown_count_ = 0;
 };

@@ -168,6 +168,15 @@ CassArtifacts* Build() {
       {artifacts->points.gossip_state_write, 1900, "CA-15158",
        "peer partitioned across its own markDead, re-announced state applied "
        "without a generation check"});
+
+  // Observability spans for the declared fault windows (campaign traces
+  // label the injections "inject:<name>"; ctlint keeps the set complete).
+  model.AddSpan({"coordinator.write", "StorageProxy.performWrite",
+                 "coordinator write against the replica ring"});
+  model.AddSpan({"gossip.apply-state", "Gossiper.applyStateLocally",
+                 "gossip digest application on a peer"});
+  model.AddSpan({"hints.store", "HintsService.write",
+                 "hint storage for an unreachable replica"});
   return artifacts;
 }
 

@@ -212,6 +212,17 @@ HBaseArtifacts* Build() {
       {artifacts->points.master_balancer_read, 2500, "HBASE-22862",
        "RS partitioned under the balancer scan, session expired, heals and heartbeats "
        "into the quorum without reconnecting"});
+
+  // Observability spans for the declared fault windows (campaign traces
+  // label the injections "inject:<name>"; ctlint keeps the set complete).
+  model.AddSpan({"master.rs-report", "ServerManager.regionServerReport",
+                 "RS report recording the server online"});
+  model.AddSpan({"master.activate", "HMaster.finishActiveMasterInitialization",
+                 "backup master activation over the recovered server list"});
+  model.AddSpan({"master.balance", "LoadBalancer.balanceCluster",
+                 "balancer scan over the online region servers"});
+  model.AddSpan({"rs.open-region", "HRegion.openRegionRebalance",
+                 "destination RS opening a region moved by the balancer"});
   return artifacts;
 }
 

@@ -213,6 +213,15 @@ HdfsArtifacts* Build() {
       {artifacts->points.nn_register_dn_write, 1900, "HDFS-15113",
        "DN partitioned at registration, expired as dead, heals and heartbeats into the "
        "DatanodeManager without re-registering"});
+
+  // Observability spans for the declared fault windows (campaign traces
+  // label the injections "inject:<name>"; ctlint keeps the set complete).
+  model.AddSpan({"nn.datanode-lookup", "DatanodeManager.getDatanode",
+                 "DN descriptor lookup on the block-placement and read paths"});
+  model.AddSpan({"nn.register-datanode", "DatanodeManager.registerDatanode",
+                 "DN (re-)registration with the NameNode"});
+  model.AddSpan({"dn.block-report", "BPOfferService.blockReport",
+                 "full block report from a DN to the NameNode"});
   return artifacts;
 }
 

@@ -622,6 +622,24 @@ void BuildNetworkFaultWindows(YarnArtifacts* artifacts) {
        "tracker without a resync"});
 }
 
+// Observability spans: stable names for the injection phases anchored at the
+// declared fault windows. Campaign traces label each injection
+// "inject:<name>"; ctlint's window-without-span-anchor check keeps every
+// multi-crash point and network-window anchor covered.
+void BuildSpans(YarnArtifacts* artifacts) {
+  ProgramModel& model = artifacts->model;
+  model.AddSpan({"rm.container-progress", "ContainerImpl.handle",
+                 "container transition handling under NM progress updates"});
+  model.AddSpan({"rm.app-status-poll", "RMAppImpl.statusUpdate",
+                 "AM status poll against the app attempt"});
+  model.AddSpan({"rm.release-containers", "SchedulerApplicationAttempt.releaseContainers",
+                 "container release after an attempt retires"});
+  model.AddSpan({"rm.register-node", "ResourceTrackerService.registerNodeManager",
+                 "NM (re-)registration with the tracker"});
+  model.AddSpan({"rm.allocate-opportunistic", "OpportunisticContainerAllocator.allocateNodes",
+                 "opportunistic allocation over the candidate node set"});
+}
+
 YarnArtifacts* BuildArtifacts(YarnMode mode) {
   auto* artifacts = new YarnArtifacts();
   artifacts->mode = mode;
@@ -636,6 +654,7 @@ YarnArtifacts* BuildArtifacts(YarnMode mode) {
   BuildCatalog(&artifacts->model);
   BuildMultiCrashPairs(artifacts);
   BuildNetworkFaultWindows(artifacts);
+  BuildSpans(artifacts);
   return artifacts;
 }
 

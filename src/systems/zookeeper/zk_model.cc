@@ -196,6 +196,15 @@ ZkArtifacts* Build() {
       {artifacts->points.leader_session_read, 1900, "ZOOKEEPER-2212",
        "leader partitioned across its own expiry, heartbeats resume into peers "
        "that already voted it out"});
+
+  // Observability spans for the declared fault windows (campaign traces
+  // label the injections "inject:<name>"; ctlint keeps the set complete).
+  model.AddSpan({"leader.prep-request", "PrepRequestProcessor.pRequest",
+                 "request pipeline on the leader's session path"});
+  model.AddSpan({"tree.create-znode", "DataTree.createNode",
+                 "znode commit into the data tree"});
+  model.AddSpan({"quorum.update-vote", "QuorumPeer.updateElectionVote",
+                 "quorum view/vote update during election recovery"});
   return artifacts;
 }
 

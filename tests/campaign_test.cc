@@ -11,6 +11,8 @@
 #include "src/core/campaign.h"
 #include "src/core/crashtuner.h"
 #include "src/core/report_writer.h"
+#include "src/obs/observer.h"
+#include "src/obs/snapshot.h"
 #include "src/runtime/run_context.h"
 #include "src/systems/yarn/yarn_system.h"
 
@@ -143,6 +145,47 @@ TEST(ParallelDeterminism, YarnReportIdenticalAtJobs1AndJobs4) {
   seq.analysis_wall_seconds = par.analysis_wall_seconds = 0;
   seq.test_wall_seconds = par.test_wall_seconds = 0;
   EXPECT_EQ(ctcore::ReportToJson(seq), ctcore::ReportToJson(par));
+}
+
+TEST(ParallelDeterminism, ObservationIsPassiveAndSnapshotDeterministic) {
+  ctyarn::YarnSystem yarn;
+  ctcore::CrashTunerDriver driver;
+
+  // Baseline: no observer.
+  ctcore::SystemReport plain = driver.Run(yarn);
+
+  // Observed at jobs=1 and jobs=4.
+  ctobs::CampaignObserver obs_seq;
+  ctcore::DriverOptions sequential;
+  sequential.jobs = 1;
+  sequential.observer = &obs_seq;
+  ctcore::SystemReport seq = driver.Run(yarn, sequential);
+
+  ctobs::CampaignObserver obs_par;
+  ctcore::DriverOptions parallel;
+  parallel.jobs = 4;
+  parallel.observer = &obs_par;
+  ctcore::SystemReport par = driver.Run(yarn, parallel);
+
+  // Observation must not perturb the campaign: the report with metrics on is
+  // byte-identical to the report with metrics off (wall fields zeroed).
+  plain.analysis_wall_seconds = seq.analysis_wall_seconds = par.analysis_wall_seconds = 0;
+  plain.test_wall_seconds = seq.test_wall_seconds = par.test_wall_seconds = 0;
+  EXPECT_EQ(ctcore::ReportToJson(plain), ctcore::ReportToJson(seq));
+  EXPECT_EQ(ctcore::ReportToJson(plain), ctcore::ReportToJson(par));
+
+  // The deterministic half of the snapshot (everything outside "wall") is
+  // byte-identical across thread counts; the wall sidecar records the jobs.
+  ctobs::MetricsSnapshot snap_seq;
+  snap_seq.systems.push_back(obs_seq.Finalize());
+  ctobs::MetricsSnapshot snap_par;
+  snap_par.systems.push_back(obs_par.Finalize());
+  ASSERT_EQ(snap_seq.systems.size(), 1u);
+  EXPECT_EQ(snap_seq.systems[0].jobs, 1);
+  EXPECT_EQ(snap_par.systems[0].jobs, 4);
+  EXPECT_GT(snap_seq.systems[0].runs, 0);
+  EXPECT_EQ(snap_seq.ToJson(/*include_wall=*/false),
+            snap_par.ToJson(/*include_wall=*/false));
 }
 
 }  // namespace

@@ -1,0 +1,307 @@
+// Unit tests for the observability subsystem (src/obs/): histogram bucket
+// edges and merge algebra, shard/registry aggregation order, span recording
+// against a real event loop, snapshot serialization (wall segregation), the
+// Chrome-trace writer, and the JSON reader that closes the loop.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/chrome_trace.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/observer.h"
+#include "src/obs/snapshot.h"
+#include "src/obs/span.h"
+#include "src/sim/event_loop.h"
+
+namespace {
+
+using ctobs::Histogram;
+using ctobs::MetricsShard;
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(HistogramTest, BucketEdgesAreInclusiveUpperBounds) {
+  Histogram histogram({10, 20, 50});
+  histogram.Observe(0);    // below the first bound -> bucket 0
+  histogram.Observe(10);   // exactly on a bound lands in that bound's bucket
+  histogram.Observe(11);   // just past it -> next bucket
+  histogram.Observe(20);   // bucket 1
+  histogram.Observe(50);   // bucket 2
+  histogram.Observe(51);   // past the last bound -> overflow bucket
+  ASSERT_EQ(histogram.bucket_counts().size(), 4u);
+  EXPECT_EQ(histogram.bucket_counts()[0], 2u);  // 0, 10
+  EXPECT_EQ(histogram.bucket_counts()[1], 2u);  // 11, 20
+  EXPECT_EQ(histogram.bucket_counts()[2], 1u);  // 50
+  EXPECT_EQ(histogram.bucket_counts()[3], 1u);  // 51
+  EXPECT_EQ(histogram.count(), 6u);
+  EXPECT_EQ(histogram.sum(), 0u + 10 + 11 + 20 + 50 + 51);
+  EXPECT_EQ(histogram.max(), 51u);
+}
+
+TEST(HistogramTest, PercentileInterpolatesWithinBucket) {
+  Histogram histogram({100});
+  for (int i = 0; i < 100; ++i) {
+    histogram.Observe(50);
+  }
+  // All mass in bucket [0,100]: p50 interpolates half-way up the bucket.
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(Histogram({100}).Percentile(50), 0.0);  // empty -> 0
+}
+
+TEST(HistogramTest, OverflowBucketUpperEdgeIsObservedMax) {
+  Histogram histogram({10});
+  histogram.Observe(1000);
+  // The single sample sits in the overflow bucket whose upper edge is the
+  // observed max, so every percentile interpolates toward 1000, not infinity.
+  EXPECT_LE(histogram.Percentile(99), 1000.0);
+  EXPECT_GT(histogram.Percentile(99), 10.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(100), 1000.0);
+}
+
+Histogram MakeHistogram(std::initializer_list<uint64_t> samples) {
+  Histogram histogram({5, 10, 100});
+  for (uint64_t sample : samples) {
+    histogram.Observe(sample);
+  }
+  return histogram;
+}
+
+void ExpectSame(const Histogram& a, const Histogram& b) {
+  EXPECT_EQ(a.bucket_counts(), b.bucket_counts());
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndCommutative) {
+  const Histogram a = MakeHistogram({1, 7, 300});
+  const Histogram b = MakeHistogram({5, 5, 11});
+  const Histogram c = MakeHistogram({99});
+
+  Histogram ab = a;
+  ab.Merge(b);
+  Histogram ab_c = ab;
+  ab_c.Merge(c);
+
+  Histogram bc = b;
+  bc.Merge(c);
+  Histogram a_bc = a;
+  a_bc.Merge(bc);
+
+  Histogram ba = b;
+  ba.Merge(a);
+
+  ExpectSame(ab_c, a_bc);  // associative
+  ExpectSame(ab, ba);      // commutative
+}
+
+TEST(HistogramTest, FromPartsRoundTripsSerializedState) {
+  const Histogram original = MakeHistogram({2, 9, 10, 5000});
+  const Histogram rebuilt = Histogram::FromParts(original.bounds(), original.bucket_counts(),
+                                                 original.sum(), original.max());
+  ExpectSame(original, rebuilt);
+  EXPECT_DOUBLE_EQ(original.Percentile(95), rebuilt.Percentile(95));
+}
+
+// ---------------------------------------------------------------------------
+// Shards and the registry
+
+TEST(MetricsShardTest, MergeAddsCountersAndKeepsGaugeMaxima) {
+  MetricsShard a;
+  a.Add("runs");
+  a.Add("runs");
+  a.SetGauge("nodes", 4);
+  a.Observe("latency", 7);
+
+  MetricsShard b;
+  b.Add("runs", 3);
+  b.SetGauge("nodes", 3);
+  b.Observe("latency", 12);
+
+  a.Merge(b);
+  EXPECT_EQ(a.counter("runs"), 5u);
+  EXPECT_EQ(a.gauges().at("nodes"), 4);  // max, not last-writer
+  EXPECT_EQ(a.histograms().at("latency").count(), 2u);
+  EXPECT_EQ(a.histograms().at("latency").sum(), 19u);
+}
+
+TEST(MetricsRegistryTest, AggregateIsIndependentOfInsertionOrder) {
+  // Slots filled out of order (as a jobs=N pool would) must aggregate to the
+  // same shard as in-order filling — the registry walks slots ascending.
+  ctobs::MetricsRegistry scrambled;
+  ctobs::MetricsRegistry ordered;
+  for (int slot : {3, 0, 2, 1}) {
+    scrambled.shard(slot).Add("slot.hits", static_cast<uint64_t>(slot + 1));
+    scrambled.shard(slot).Observe("virtual_ms", static_cast<uint64_t>(100 * slot));
+  }
+  for (int slot : {0, 1, 2, 3}) {
+    ordered.shard(slot).Add("slot.hits", static_cast<uint64_t>(slot + 1));
+    ordered.shard(slot).Observe("virtual_ms", static_cast<uint64_t>(100 * slot));
+  }
+  const MetricsShard a = scrambled.Aggregate();
+  const MetricsShard b = ordered.Aggregate();
+  EXPECT_EQ(a.counter("slot.hits"), 10u);
+  EXPECT_EQ(a.counters(), b.counters());
+  ExpectSame(a.histograms().at("virtual_ms"), b.histograms().at("virtual_ms"));
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+
+TEST(SpanTest, ScopedSpanRecordsBothClocksFromTheEventLoop) {
+  ctsim::EventLoop loop;
+  loop.Schedule(250, [] {});
+  ctobs::RunObserver observer;
+  observer.Enable();
+  {
+    ctobs::ScopedSpan span(&observer, &loop, "workload", "phase");
+    span.AddArg("point", "p1");
+    loop.RunToCompletion();  // advances virtual time to 250
+  }
+  ASSERT_EQ(observer.spans().events().size(), 1u);
+  const ctobs::SpanEvent& event = observer.spans().events()[0];
+  EXPECT_EQ(event.name, "workload");
+  EXPECT_EQ(event.category, "phase");
+  EXPECT_EQ(event.sim_begin_ms, 0u);
+  EXPECT_EQ(event.sim_end_ms, 250u);
+  EXPECT_EQ(event.sim_duration_ms(), 250u);
+  EXPECT_GE(event.wall_end_ns, event.wall_begin_ns);
+  ASSERT_EQ(event.args.size(), 1u);
+  EXPECT_EQ(event.args[0].first, "point");
+}
+
+TEST(SpanTest, DisabledOrNullObserverRecordsNothing) {
+  ctsim::EventLoop loop;
+  ctobs::RunObserver disabled;
+  {
+    ctobs::ScopedSpan span(&disabled, &loop, "boot", "phase");
+    ctobs::ScopedSpan null_span(nullptr, &loop, "boot", "phase");
+    null_span.AddArg("k", "v");  // must be a safe no-op
+  }
+  EXPECT_TRUE(disabled.spans().empty());
+  EXPECT_TRUE(disabled.metrics().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Campaign observer + snapshot + trace
+
+TEST(CampaignObserverTest, FinalizeFoldsSpansIntoPhaseHistograms) {
+  ctsim::EventLoop loop;
+  loop.Schedule(40, [] {});
+  ctobs::CampaignObserver campaign;
+  campaign.set_system("TestSys");
+
+  ctobs::RunObserver run;
+  run.Enable();
+  {
+    ctobs::ScopedSpan span(&run, &loop, "boot", "phase");
+    loop.RunToCompletion();
+  }
+  {
+    ctobs::ScopedSpan span(&run, &loop, "inject:rm.register-node", "injection");
+  }
+  run.metrics().Add("run.count");
+  campaign.AbsorbRun(0, run);
+
+  const ctobs::SystemMetrics metrics = campaign.Finalize();
+  EXPECT_EQ(metrics.system, "TestSys");
+  EXPECT_EQ(metrics.runs, 1);
+  EXPECT_EQ(metrics.metrics.histograms().at("phase.boot").count(), 1u);
+  EXPECT_EQ(metrics.metrics.histograms().at("phase.boot").sum(), 40u);
+  // Injection spans fold into the shared injection phase histogram plus a
+  // per-span counter carrying the model's span name.
+  EXPECT_EQ(metrics.metrics.histograms().at("phase.injection").count(), 1u);
+  EXPECT_EQ(metrics.metrics.counters().at("span.inject:rm.register-node"), 1u);
+}
+
+TEST(SnapshotTest, WallSectionIsSegregatedFromDeterministicFields) {
+  ctobs::CampaignObserver campaign;
+  campaign.set_system("TestSys");
+  campaign.set_jobs(4);
+  campaign.set_campaign_wall_seconds(1.5);
+  ctobs::RunObserver run;
+  run.Enable();
+  run.metrics().Add("run.count");
+  campaign.AbsorbRun(0, run);
+
+  ctobs::MetricsSnapshot snapshot;
+  snapshot.systems.push_back(campaign.Finalize());
+
+  const std::string with_wall = snapshot.ToJson(/*include_wall=*/true);
+  const std::string without_wall = snapshot.ToJson(/*include_wall=*/false);
+  EXPECT_NE(with_wall.find("\"wall\""), std::string::npos);
+  EXPECT_NE(with_wall.find("\"jobs\":4"), std::string::npos);
+  EXPECT_EQ(without_wall.find("\"wall\""), std::string::npos);
+  EXPECT_EQ(without_wall.find("jobs"), std::string::npos);
+
+  // Both serializations parse, and the deterministic fields agree.
+  const ctobs::JsonValue parsed = ctobs::ParseJson(with_wall);
+  ASSERT_TRUE(parsed.is_object());
+  EXPECT_EQ(parsed.Find("schema")->string_value, ctobs::kSnapshotSchema);
+  const ctobs::JsonValue& system = parsed.Find("systems")->array_items.at(0);
+  EXPECT_EQ(system.Find("system")->string_value, "TestSys");
+  EXPECT_EQ(system.Find("runs")->number_value, 1.0);
+  EXPECT_EQ(ctobs::ParseJson(without_wall).Find("systems")->array_items.size(), 1u);
+}
+
+TEST(ChromeTraceTest, TraceJsonParsesAndCarriesSpans) {
+  ctsim::EventLoop loop;
+  loop.Schedule(10, [] {});
+  ctobs::CampaignObserver campaign;
+  ctobs::RunObserver run;
+  run.Enable();
+  {
+    ctobs::ScopedSpan span(&run, &loop, "workload", "phase");
+    loop.RunToCompletion();
+  }
+  campaign.AbsorbRun(0, run);
+
+  ctobs::ChromeTraceWriter writer;
+  campaign.AppendChromeTrace(&writer, /*pid=*/1, "TestSys");
+  const ctobs::JsonValue trace = ctobs::ParseJson(writer.ToJson());
+  ASSERT_TRUE(trace.is_object());
+  const ctobs::JsonValue* events = trace.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  bool found_span = false;
+  for (const ctobs::JsonValue& event : events->array_items) {
+    const ctobs::JsonValue* ph = event.Find("ph");
+    if (ph != nullptr && ph->string_value == "X" &&
+        event.Find("name")->string_value == "workload") {
+      found_span = true;
+      EXPECT_EQ(event.Find("dur")->number_value, 10000.0);  // 10 ms in µs
+    }
+  }
+  EXPECT_TRUE(found_span);
+}
+
+// ---------------------------------------------------------------------------
+// JSON reader
+
+TEST(JsonTest, ParsesScalarsContainersAndEscapes) {
+  const ctobs::JsonValue value =
+      ctobs::ParseJson("{\"a\":[1,2.5,-3],\"b\":\"x\\ny\",\"c\":true,\"d\":null}");
+  ASSERT_TRUE(value.is_object());
+  const ctobs::JsonValue* a = value.Find("a");
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->array_items[1].number_value, 2.5);
+  EXPECT_EQ(a->array_items[2].number_value, -3.0);
+  EXPECT_EQ(value.Find("b")->string_value, "x\ny");
+  EXPECT_TRUE(value.Find("c")->bool_value);
+  EXPECT_EQ(value.Find("d")->kind, ctobs::JsonValue::Kind::kNull);
+  EXPECT_EQ(value.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_THROW(ctobs::ParseJson("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(ctobs::ParseJson("[1,2"), std::runtime_error);
+  EXPECT_THROW(ctobs::ParseJson("{} trailing"), std::runtime_error);
+  EXPECT_THROW(ctobs::ParseJson(""), std::runtime_error);
+}
+
+}  // namespace

@@ -54,6 +54,19 @@ echo "== stage 4c: network-fault smoke (guided windows vs random partitions) =="
 ./build/bench/bench_table7_random_injection 40 --jobs 0 \
   --json build/BENCH_network_faults.json | tail -n 12
 
+echo "== stage 4d: campaign observability (metrics snapshot + Chrome trace) =="
+# Runs the five-system campaign at jobs=4 with the metrics registry and span
+# recorder on, then validates the snapshot with ctstat --check and leaves the
+# throughput/phase-share summary in BENCH_observability.json. Passivity
+# (identical SystemReport with observation on or off) and snapshot
+# determinism across thread counts are asserted by campaign_test; this stage
+# proves the exporters and the ctstat reader against a real campaign.
+./build/bench/bench_table5_new_bugs --jobs 4 \
+  --metrics-out build/metrics_snapshot.json \
+  --trace-out build/campaign.trace.json > /dev/null
+./build/tools/ctstat build/metrics_snapshot.json --check \
+  --json build/BENCH_observability.json | tail -n 3
+
 if [[ "$skip_sanitizers" == 1 ]]; then
   echo "== stages 5-6: sanitizers skipped =="
   exit 0

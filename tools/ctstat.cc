@@ -1,0 +1,386 @@
+// ctstat — render and validate campaign metrics snapshots.
+//
+//   ctstat <snapshot.json> [--check] [--json FILE]
+//
+// Reads a MetricsSnapshot written by --metrics-out (src/obs/snapshot.h) and
+// prints, per campaign: the phase latency table (count, sim-time p50/p95/p99
+// from the fixed-bucket histograms, wall-clock share of the campaign), the
+// injection/outcome counters, and the runs-per-second throughput line.
+//
+// --check validates the file instead of merely rendering it: schema tag,
+// non-empty system list, histogram shape (ascending bounds, counts ==
+// bounds+overflow, bucket counts summing to `count`), and wall-section
+// consistency. Exit code 0 only when every check passes — CI runs this on
+// the snapshot the observability stage produces.
+//
+// --json FILE emits the BENCH_observability.json summary (runs/sec and
+// per-phase wall shares per campaign) the CI stage archives.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/snapshot.h"
+
+namespace {
+
+struct ParsedHistogram {
+  std::string name;
+  ctobs::Histogram histogram = ctobs::Histogram();
+};
+
+struct ParsedSystem {
+  std::string system;
+  long long runs = 0;
+  std::vector<std::pair<std::string, unsigned long long>> counters;
+  std::vector<std::pair<std::string, long long>> gauges;
+  std::vector<ParsedHistogram> histograms;
+  bool has_wall = false;
+  int jobs = 0;
+  double campaign_seconds = 0;
+  double runs_per_second = 0;
+  std::map<std::string, double> phase_wall_seconds;
+  std::map<std::string, double> driver_wall_seconds;
+};
+
+struct ParsedSnapshot {
+  std::string schema;
+  std::vector<ParsedSystem> systems;
+};
+
+// Collects validation failures; rendering keeps going so one bad histogram
+// does not hide the rest of the report.
+struct Checker {
+  std::vector<std::string> failures;
+
+  void Fail(const std::string& where, const std::string& what) {
+    failures.push_back(where + ": " + what);
+  }
+};
+
+const ctobs::JsonValue* Require(const ctobs::JsonValue& object, const std::string& key,
+                                const std::string& where, Checker* checker) {
+  const ctobs::JsonValue* value = object.Find(key);
+  if (value == nullptr) {
+    checker->Fail(where, "missing \"" + key + "\"");
+  }
+  return value;
+}
+
+bool LoadHistogram(const std::string& name, const ctobs::JsonValue& json,
+                   const std::string& where, Checker* checker, ParsedHistogram* out) {
+  if (!json.is_object()) {
+    checker->Fail(where, "histogram is not an object");
+    return false;
+  }
+  const ctobs::JsonValue* bounds_json = Require(json, "bounds", where, checker);
+  const ctobs::JsonValue* counts_json = Require(json, "counts", where, checker);
+  const ctobs::JsonValue* count_json = Require(json, "count", where, checker);
+  const ctobs::JsonValue* sum_json = Require(json, "sum", where, checker);
+  const ctobs::JsonValue* max_json = Require(json, "max", where, checker);
+  if (bounds_json == nullptr || counts_json == nullptr || count_json == nullptr ||
+      sum_json == nullptr || max_json == nullptr || !bounds_json->is_array() ||
+      !counts_json->is_array()) {
+    return false;
+  }
+  std::vector<uint64_t> bounds;
+  for (const auto& item : bounds_json->array_items) {
+    bounds.push_back(static_cast<uint64_t>(item.number_value));
+  }
+  if (bounds.empty()) {
+    checker->Fail(where, "empty bounds");
+    return false;
+  }
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i - 1] >= bounds[i]) {
+      checker->Fail(where, "bounds not strictly ascending");
+      return false;
+    }
+  }
+  std::vector<uint64_t> counts;
+  uint64_t total = 0;
+  for (const auto& item : counts_json->array_items) {
+    counts.push_back(static_cast<uint64_t>(item.number_value));
+    total += counts.back();
+  }
+  if (counts.size() != bounds.size() + 1) {
+    checker->Fail(where, "counts must have one entry per bound plus overflow");
+    return false;
+  }
+  if (total != static_cast<uint64_t>(count_json->number_value)) {
+    checker->Fail(where, "bucket counts do not sum to \"count\"");
+    return false;
+  }
+  out->name = name;
+  out->histogram = ctobs::Histogram::FromParts(
+      std::move(bounds), std::move(counts), static_cast<uint64_t>(sum_json->number_value),
+      static_cast<uint64_t>(max_json->number_value));
+  if (out->histogram.count() > 0 && out->histogram.sum() < out->histogram.max()) {
+    checker->Fail(where, "sum below max");
+  }
+  return true;
+}
+
+void LoadWallMap(const ctobs::JsonValue& json, std::map<std::string, double>* out) {
+  for (const auto& [name, value] : json.object_items) {
+    (*out)[name] = value.number_value;
+  }
+}
+
+ParsedSnapshot LoadSnapshot(const ctobs::JsonValue& root, Checker* checker) {
+  ParsedSnapshot snapshot;
+  if (!root.is_object()) {
+    checker->Fail("root", "not a JSON object");
+    return snapshot;
+  }
+  const ctobs::JsonValue* schema = Require(root, "schema", "root", checker);
+  if (schema != nullptr) {
+    snapshot.schema = schema->string_value;
+    if (snapshot.schema != ctobs::kSnapshotSchema) {
+      checker->Fail("root", "schema is \"" + snapshot.schema + "\", expected \"" +
+                                ctobs::kSnapshotSchema + "\"");
+    }
+  }
+  const ctobs::JsonValue* systems = Require(root, "systems", "root", checker);
+  if (systems == nullptr || !systems->is_array()) {
+    if (systems != nullptr) {
+      checker->Fail("root", "\"systems\" is not an array");
+    }
+    return snapshot;
+  }
+  if (systems->array_items.empty()) {
+    checker->Fail("root", "no systems recorded");
+  }
+  for (size_t i = 0; i < systems->array_items.size(); ++i) {
+    const ctobs::JsonValue& json = systems->array_items[i];
+    ParsedSystem system;
+    const std::string where = "systems[" + std::to_string(i) + "]";
+    if (!json.is_object()) {
+      checker->Fail(where, "not an object");
+      continue;
+    }
+    const ctobs::JsonValue* name = Require(json, "system", where, checker);
+    if (name != nullptr) {
+      system.system = name->string_value;
+      if (system.system.empty()) {
+        checker->Fail(where, "empty system name");
+      }
+    }
+    const ctobs::JsonValue* runs = Require(json, "runs", where, checker);
+    if (runs != nullptr) {
+      system.runs = static_cast<long long>(runs->number_value);
+      if (system.runs < 0) {
+        checker->Fail(where, "negative run count");
+      }
+    }
+    if (const ctobs::JsonValue* counters = json.Find("counters")) {
+      for (const auto& [counter, value] : counters->object_items) {
+        system.counters.emplace_back(counter,
+                                     static_cast<unsigned long long>(value.number_value));
+      }
+    }
+    if (const ctobs::JsonValue* gauges = json.Find("gauges")) {
+      for (const auto& [gauge, value] : gauges->object_items) {
+        system.gauges.emplace_back(gauge, static_cast<long long>(value.number_value));
+      }
+    }
+    if (const ctobs::JsonValue* histograms = json.Find("histograms")) {
+      for (const auto& [histogram_name, value] : histograms->object_items) {
+        ParsedHistogram parsed;
+        if (LoadHistogram(histogram_name, value, where + "." + histogram_name, checker,
+                          &parsed)) {
+          system.histograms.push_back(std::move(parsed));
+        }
+      }
+    }
+    if (const ctobs::JsonValue* wall = json.Find("wall")) {
+      system.has_wall = true;
+      if (const ctobs::JsonValue* jobs = wall->Find("jobs")) {
+        system.jobs = static_cast<int>(jobs->number_value);
+        if (system.jobs < 1) {
+          checker->Fail(where, "wall.jobs below 1");
+        }
+      }
+      if (const ctobs::JsonValue* seconds = wall->Find("campaign_seconds")) {
+        system.campaign_seconds = seconds->number_value;
+        if (system.campaign_seconds < 0) {
+          checker->Fail(where, "negative campaign_seconds");
+        }
+      }
+      if (const ctobs::JsonValue* rate = wall->Find("runs_per_second")) {
+        system.runs_per_second = rate->number_value;
+      }
+      if (const ctobs::JsonValue* phases = wall->Find("phases")) {
+        LoadWallMap(*phases, &system.phase_wall_seconds);
+      }
+      if (const ctobs::JsonValue* driver = wall->Find("driver")) {
+        LoadWallMap(*driver, &system.driver_wall_seconds);
+      }
+    }
+    snapshot.systems.push_back(std::move(system));
+  }
+  return snapshot;
+}
+
+// "phase.boot" -> "boot"; anything else renders under its metric name.
+std::string PhaseLabel(const std::string& metric) {
+  const std::string prefix = "phase.";
+  if (metric.compare(0, prefix.size(), prefix) == 0) {
+    return metric.substr(prefix.size());
+  }
+  return metric;
+}
+
+void PrintSystem(const ParsedSystem& system) {
+  std::printf("\n%s\n", system.system.c_str());
+  for (size_t i = 0; i < system.system.size(); ++i) {
+    std::printf("=");
+  }
+  std::printf("\n");
+  if (system.has_wall) {
+    std::printf("runs %lld | jobs %d | campaign %.3fs | %.1f runs/s\n", system.runs,
+                system.jobs, system.campaign_seconds, system.runs_per_second);
+  } else {
+    std::printf("runs %lld (deterministic fields only, no wall section)\n", system.runs);
+  }
+
+  const double wall_total = system.campaign_seconds;
+  std::printf("  %-28s %8s %10s %10s %10s %11s %7s\n", "phase", "count", "p50(ms)",
+              "p95(ms)", "p99(ms)", "sim-sum(ms)", "wall%");
+  for (const ParsedHistogram& parsed : system.histograms) {
+    const std::string label = PhaseLabel(parsed.name);
+    const ctobs::Histogram& histogram = parsed.histogram;
+    auto wall = system.phase_wall_seconds.find(label);
+    char wall_cell[16];
+    if (wall != system.phase_wall_seconds.end() && wall_total > 0) {
+      std::snprintf(wall_cell, sizeof(wall_cell), "%6.1f%%",
+                    100.0 * wall->second / wall_total);
+    } else {
+      std::snprintf(wall_cell, sizeof(wall_cell), "%7s", "-");
+    }
+    std::printf("  %-28s %8llu %10.1f %10.1f %10.1f %11llu %7s\n", label.c_str(),
+                static_cast<unsigned long long>(histogram.count()), histogram.Percentile(50),
+                histogram.Percentile(95), histogram.Percentile(99),
+                static_cast<unsigned long long>(histogram.sum()), wall_cell);
+  }
+
+  if (!system.counters.empty()) {
+    std::printf("  counters:\n");
+    for (const auto& [name, value] : system.counters) {
+      std::printf("    %-40s %12llu\n", name.c_str(), value);
+    }
+  }
+  if (!system.gauges.empty()) {
+    std::printf("  gauges:\n");
+    for (const auto& [name, value] : system.gauges) {
+      std::printf("    %-40s %12lld\n", name.c_str(), value);
+    }
+  }
+  if (!system.driver_wall_seconds.empty()) {
+    std::printf("  driver phases (wall):");
+    for (const auto& [name, seconds] : system.driver_wall_seconds) {
+      std::printf("  %s=%.3fs", name.c_str(), seconds);
+    }
+    std::printf("\n");
+  }
+}
+
+bool WriteSummaryJson(const ParsedSnapshot& snapshot, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "{\"bench\":\"observability\",\"systems\":[";
+  for (size_t i = 0; i < snapshot.systems.size(); ++i) {
+    const ParsedSystem& system = snapshot.systems[i];
+    if (i > 0) {
+      out << ",";
+    }
+    out << "\n  {\"system\":\"" << system.system << "\",\"runs\":" << system.runs
+        << ",\"jobs\":" << system.jobs << ",\"campaign_seconds\":" << system.campaign_seconds
+        << ",\"runs_per_second\":" << system.runs_per_second << ",\"phase_wall_share\":{";
+    bool first = true;
+    for (const auto& [name, seconds] : system.phase_wall_seconds) {
+      const double share =
+          system.campaign_seconds > 0 ? seconds / system.campaign_seconds : 0.0;
+      out << (first ? "" : ",") << "\"" << name << "\":" << share;
+      first = false;
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string snapshot_path;
+  std::string json_path;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "usage: ctstat <snapshot.json> [--check] [--json FILE]\n");
+      return 2;
+    } else {
+      snapshot_path = arg;
+    }
+  }
+  if (snapshot_path.empty()) {
+    std::fprintf(stderr, "usage: ctstat <snapshot.json> [--check] [--json FILE]\n");
+    return 2;
+  }
+
+  std::ifstream in(snapshot_path);
+  if (!in) {
+    std::fprintf(stderr, "ctstat: cannot read %s\n", snapshot_path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  Checker checker;
+  ParsedSnapshot snapshot;
+  try {
+    snapshot = LoadSnapshot(ctobs::ParseJson(buffer.str()), &checker);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ctstat: %s: %s\n", snapshot_path.c_str(), error.what());
+    return 2;
+  }
+
+  for (const ParsedSystem& system : snapshot.systems) {
+    PrintSystem(system);
+  }
+
+  if (!json_path.empty()) {
+    if (!WriteSummaryJson(snapshot, json_path)) {
+      std::fprintf(stderr, "ctstat: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  if (check) {
+    if (checker.failures.empty()) {
+      std::printf("\ncheck: OK (%zu campaigns)\n", snapshot.systems.size());
+    } else {
+      std::printf("\ncheck: %zu failure(s)\n", checker.failures.size());
+      for (const std::string& failure : checker.failures) {
+        std::printf("  %s\n", failure.c_str());
+      }
+      return 1;
+    }
+  }
+  return 0;
+}
