@@ -1,0 +1,241 @@
+// Representative crash injection vs exhaustive injection (equivalence.h).
+//
+// For each of the five systems, runs the static-only pipeline both ways:
+//   * single-crash phase: the full campaign vs one representative per
+//     behavioral equivalence class (DriverOptions::injection_selection);
+//     recall is measured on the triaged bug-id sets, and the representative
+//     report is checked byte-identical at jobs=1 and jobs=4;
+//   * multi-crash phase: three spaces. The ordered pair walk (both orders of
+//     every pair) is what the campaign injected before symmetric windows were
+//     deduped at enumeration time — it is the cost baseline for the reduction
+//     ratio and the wall-clock speedup. The unordered enumeration is the
+//     exhaustive campaign as shipped (TestPairs): both orientations of a
+//     crash window realize the same unordered scenario, so this set is the
+//     recall ground truth. The representative campaign injects one pair per
+//     equivalence class; recall is measured on the failing and multi-only
+//     failure-signature sets against the unordered campaign.
+// Pair seeds derive from pair content (TestPairList), so a pair runs the same
+// simulation in either campaign and the comparison is run-for-run.
+//
+// --json FILE writes the per-system classes / reduction / recall / wall
+// numbers (BENCH_representative.json in CI stage 4e). Exit status is the
+// number of systems violating 100% recall or the 2x multi-crash reduction.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "src/analysis/equivalence.h"
+#include "src/analysis/log_analysis.h"
+#include "src/core/campaign.h"
+#include "src/core/multi_crash.h"
+#include "src/core/report_writer.h"
+
+namespace {
+
+double Wall(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+std::set<std::string> BugIds(const ctcore::SystemReport& report) {
+  std::set<std::string> ids;
+  for (const auto& bug : report.bugs) {
+    ids.insert(bug.bug_id);
+  }
+  return ids;
+}
+
+// Failure signatures of a multi-crash report, at the granularity the single
+// phase dedups on: primary symptom + first uncommon exception.
+std::set<std::string> PairSignatures(const ctcore::MultiCrashReport& report) {
+  std::set<std::string> signatures;
+  for (const auto& pair : report.failing) {
+    const std::string exception = pair.outcome.uncommon_exceptions.empty()
+                                      ? ""
+                                      : pair.outcome.uncommon_exceptions.front();
+    signatures.insert(pair.outcome.PrimarySymptom() + "|" + exception);
+  }
+  return signatures;
+}
+
+double Recall(const std::set<std::string>& exhaustive, const std::set<std::string>& got) {
+  if (exhaustive.empty()) {
+    return 1.0;
+  }
+  int matched = 0;
+  for (const auto& entry : exhaustive) {
+    matched += got.count(entry) > 0 ? 1 : 0;
+  }
+  return static_cast<double>(matched) / static_cast<double>(exhaustive.size());
+}
+
+std::string SerializeNoWall(ctcore::SystemReport report) {
+  report.analysis_wall_seconds = 0;
+  report.test_wall_seconds = 0;
+  return ctcore::ReportToJson(report);
+}
+
+struct Row {
+  std::string system;
+  int points = 0;
+  int point_classes = 0;
+  int single_exhaustive = 0;
+  int single_representative = 0;
+  double single_recall = 0;
+  bool deterministic = false;
+  long long pairs_ordered = 0;
+  long long pairs_unordered = 0;
+  int pair_classes = 0;
+  double pair_recall = 0;
+  double multi_only_recall = 0;
+  double reduction = 0;
+  double wall_exhaustive = 0;
+  double wall_representative = 0;
+
+  bool ok() const {
+    return single_recall == 1.0 && pair_recall == 1.0 && multi_only_recall == 1.0 &&
+           reduction >= 2.0 && deterministic;
+  }
+};
+
+Row BenchSystem(const ctcore::SystemUnderTest& system, int jobs) {
+  ctcore::CrashTunerDriver driver;
+  ctcore::DriverOptions options;
+  options.context_mode = ctcore::ContextMode::kStaticOnly;
+  options.jobs = jobs;
+  ctcore::SystemReport exhaustive = driver.Run(system, options);
+
+  options.injection_selection = ctcore::InjectionSelection::kRepresentative;
+  ctcore::SystemReport representative = driver.Run(system, options);
+  ctcore::DriverOptions par = options;
+  par.jobs = jobs == 4 ? 1 : 4;
+  ctcore::SystemReport representative_par = driver.Run(system, par);
+
+  Row row;
+  row.system = system.name();
+  row.points = static_cast<int>(exhaustive.profile.dynamic_access_points.size());
+  row.point_classes = representative.equivalence.classes;
+  row.single_exhaustive = static_cast<int>(exhaustive.injections.size());
+  row.single_representative = static_cast<int>(representative.injections.size());
+  row.single_recall = Recall(BugIds(exhaustive), BugIds(representative));
+  row.deterministic = SerializeNoWall(representative) == SerializeNoWall(representative_par);
+
+  // Multi-crash phase.
+  ctanalysis::EquivalenceAnalysis analysis(&system.model(), &exhaustive.metainfo);
+  const auto& points = exhaustive.profile.dynamic_access_points;
+  std::vector<ctcore::CrashPairCandidate> ordered =
+      ctcore::EnumerateOrderedCrashPairs(points, -1);
+  std::vector<ctcore::CrashPairCandidate> unordered = ctcore::EnumerateCrashPairs(points, -1);
+  ctcore::PairPartition partition = ctcore::PartitionCrashPairs(unordered, analysis);
+
+  auto hosts_run = system.NewRun(system.default_workload_size(), options.seed);
+  std::vector<std::string> hosts = hosts_run->cluster().config_hosts();
+  hosts_run.reset();
+  ctanalysis::LogAnalysis log_analysis(&system.model(), hosts);
+  ctlog::OnlineFilter filter = log_analysis.MakeOnlineFilter(exhaustive.log_result);
+  ctcore::MultiCrashTester tester(&system, &exhaustive.crash_points, filter,
+                                  exhaustive.profile.baseline);
+
+  // Wall baseline: the ordered walk is what an exhaustive campaign cost
+  // before symmetric dedupe + partitioning; its report is discarded (the
+  // unordered campaign below is the recall ground truth).
+  auto start = std::chrono::steady_clock::now();
+  tester.TestPairList(ordered, exhaustive.injections, options.seed + 31, jobs);
+  row.wall_exhaustive = Wall(start);
+  ctcore::MultiCrashReport full =
+      tester.TestPairList(unordered, exhaustive.injections, options.seed + 31, jobs);
+  start = std::chrono::steady_clock::now();
+  ctcore::MultiCrashReport reduced = tester.TestPairList(
+      partition.Representatives(), exhaustive.injections, options.seed + 31, jobs);
+  row.wall_representative = Wall(start);
+
+  row.pairs_ordered = static_cast<long long>(ordered.size());
+  row.pairs_unordered = static_cast<long long>(unordered.size());
+  row.pair_classes = partition.NumClasses();
+  row.reduction = row.pair_classes > 0
+                      ? static_cast<double>(row.pairs_ordered) / row.pair_classes
+                      : 1.0;
+  row.pair_recall = Recall(PairSignatures(full), PairSignatures(reduced));
+  std::set<std::string> full_multi;
+  for (const auto& pair : full.multi_only) {
+    const std::string exception = pair.outcome.uncommon_exceptions.empty()
+                                      ? ""
+                                      : pair.outcome.uncommon_exceptions.front();
+    full_multi.insert(pair.outcome.PrimarySymptom() + "|" + exception);
+  }
+  std::set<std::string> reduced_multi;
+  for (const auto& pair : reduced.multi_only) {
+    const std::string exception = pair.outcome.uncommon_exceptions.empty()
+                                      ? ""
+                                      : pair.outcome.uncommon_exceptions.front();
+    reduced_multi.insert(pair.outcome.PrimarySymptom() + "|" + exception);
+  }
+  row.multi_only_recall = Recall(full_multi, reduced_multi);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ctbench::BenchFlags flags = ctbench::ParseFlags(argc, argv);
+  const int jobs = ctcore::ResolveJobs(flags.jobs);
+  ctbench::PrintHeader("Representative crash injection — equivalence classes vs exhaustive");
+
+  std::printf("%-16s %6s %6s %8s %8s %8s %8s %7s %7s %7s %8s\n", "system", "points", "p-cls",
+              "prs-ord", "prs-uno", "prs-rep", "reduce", "recall", "m-only", "determ",
+              "speedup");
+  std::vector<Row> rows;
+  int violations = 0;
+  for (const auto& system : ctbench::AllSystems()) {
+    Row row = BenchSystem(*system, jobs);
+    std::printf("%-16s %6d %6d %8lld %8lld %8d %7.2fx %6.1f%% %6.1f%% %7s %7.2fx\n",
+                row.system.c_str(), row.points, row.point_classes, row.pairs_ordered,
+                row.pairs_unordered, row.pair_classes, row.reduction, 100.0 * row.pair_recall,
+                100.0 * row.multi_only_recall, row.deterministic ? "yes" : "NO",
+                row.wall_representative > 0 ? row.wall_exhaustive / row.wall_representative
+                                            : 0.0);
+    if (!row.ok()) {
+      ++violations;
+    }
+    rows.push_back(row);
+  }
+  ctbench::PrintRule();
+  std::printf("single-crash phase: representative campaign keeps the full bug set per system\n"
+              "(recall on triaged bug ids); multi-crash phase: >=2x fewer injected runs than\n"
+              "the ordered walk with 100%% recall on failing and multi-only failure\n"
+              "signatures of the exhaustive (unordered) campaign.\n");
+
+  if (!flags.json_path.empty()) {
+    std::ofstream json(flags.json_path);
+    json << "[";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      if (i > 0) {
+        json << ",";
+      }
+      json << "\n  {\"system\":\"" << row.system << "\",\"points\":" << row.points
+           << ",\"point_classes\":" << row.point_classes
+           << ",\"single_runs_exhaustive\":" << row.single_exhaustive
+           << ",\"single_runs_representative\":" << row.single_representative
+           << ",\"single_recall\":" << row.single_recall
+           << ",\"pairs_ordered\":" << row.pairs_ordered
+           << ",\"pairs_unordered\":" << row.pairs_unordered
+           << ",\"pair_classes\":" << row.pair_classes
+           << ",\"reduction\":" << row.reduction << ",\"pair_recall\":" << row.pair_recall
+           << ",\"multi_only_recall\":" << row.multi_only_recall
+           << ",\"deterministic\":" << (row.deterministic ? "true" : "false")
+           << ",\"wall_exhaustive_s\":" << row.wall_exhaustive
+           << ",\"wall_representative_s\":" << row.wall_representative
+           << ",\"speedup\":"
+           << (row.wall_representative > 0 ? row.wall_exhaustive / row.wall_representative : 0.0)
+           << "}";
+    }
+    json << "\n]\n";
+    std::printf("wrote %s\n", flags.json_path.c_str());
+  }
+  if (violations > 0) {
+    std::printf("VIOLATIONS: %d system(s) below 100%% recall / 2x reduction\n", violations);
+  }
+  return violations;
+}

@@ -2,7 +2,18 @@
 // markdown and JSON reports plus the Fig. 1 meta-info graph in Graphviz DOT.
 //
 //   $ ./build/examples/export_report /tmp/crashtuner-reports
+//
+// Flags:
+//   --representative           inject one crash point per static equivalence
+//                              class instead of the full dynamic point set
+//                              (reports gain an "equivalence" section);
+//   --validate-representative  inject the full set, partition it, and assert
+//                              per-class outcome equivalence (mismatch counts
+//                              land in the report's equivalence section);
+//   --static-only              enumerate contexts statically, no profiling;
+//   --jobs N                   campaign worker threads (0 = hardware).
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -17,9 +28,10 @@
 
 namespace {
 
-void Export(const ctcore::SystemUnderTest& system, const std::filesystem::path& directory) {
+void Export(const ctcore::SystemUnderTest& system, const ctcore::DriverOptions& options,
+            const std::filesystem::path& directory) {
   ctcore::CrashTunerDriver driver;
-  ctcore::SystemReport report = driver.Run(system);
+  ctcore::SystemReport report = driver.Run(system, options);
 
   std::string stem = report.system;
   for (char& c : stem) {
@@ -31,20 +43,48 @@ void Export(const ctcore::SystemUnderTest& system, const std::filesystem::path& 
   std::ofstream(directory / (stem + ".json")) << ctcore::ReportToJson(report);
   std::ofstream(directory / (stem + ".dot"))
       << ctanalysis::MetaInfoGraphToDot(report.log_result.graph);
-  std::printf("%-14s -> %s.{md,json,dot}  (%zu bugs)\n", report.system.c_str(),
+  std::printf("%-14s -> %s.{md,json,dot}  (%zu bugs", report.system.c_str(),
               (directory / stem).c_str(), report.bugs.size());
+  if (report.equivalence.active) {
+    std::printf(", %d/%d points injected across %d classes", report.equivalence.injected,
+                report.equivalence.members, report.equivalence.classes);
+    if (report.equivalence.validation_mismatches > 0) {
+      std::printf(", %d VALIDATION MISMATCH(ES)", report.equivalence.validation_mismatches);
+    }
+  }
+  std::printf(")\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::filesystem::path directory = argc > 1 ? argv[1] : "/tmp/crashtuner-reports";
+  std::filesystem::path directory = "/tmp/crashtuner-reports";
+  ctcore::DriverOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--representative") {
+      options.injection_selection = ctcore::InjectionSelection::kRepresentative;
+    } else if (arg == "--validate-representative") {
+      options.injection_selection = ctcore::InjectionSelection::kValidateRepresentative;
+    } else if (arg == "--static-only") {
+      options.context_mode = ctcore::ContextMode::kStaticOnly;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      options.jobs = std::atoi(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: export_report [DIR] [--representative | "
+                   "--validate-representative] [--static-only] [--jobs N]\n");
+      return 2;
+    } else {
+      directory = arg;
+    }
+  }
   std::filesystem::create_directories(directory);
 
-  Export(ctyarn::YarnSystem(), directory);
-  Export(cthdfs::HdfsSystem(), directory);
-  Export(cthbase::HBaseSystem(), directory);
-  Export(ctzk::ZkSystem(), directory);
-  Export(ctcass::CassSystem(), directory);
+  Export(ctyarn::YarnSystem(), options, directory);
+  Export(cthdfs::HdfsSystem(), options, directory);
+  Export(cthbase::HBaseSystem(), options, directory);
+  Export(ctzk::ZkSystem(), options, directory);
+  Export(ctcass::CassSystem(), options, directory);
   return 0;
 }

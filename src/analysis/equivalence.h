@@ -1,0 +1,119 @@
+// Static equivalence-class partitioning for representative crash injection.
+//
+// Exhaustive injection spends most of its runs on dynamic crash points that
+// are provably equivalent before any run launches: same call string modulo a
+// loop index, same meta-info value class, same declared fault window, same
+// recovery phase. Following representative-testing ideas from
+// crash-consistency literature, this pass partitions a dynamic crash-point
+// set into behavioral equivalence classes using *static facts only* — the
+// program model and the call-graph enumeration output — so a campaign can
+// inject one representative per class and a validation campaign can check
+// that the members of each class really report the same bugs.
+//
+// The class key of a dynamic point ⟨static point, call string⟩ is built from:
+//   * crash-point kind     pre-read / post-write (AccessKind of the decl);
+//   * crash site           the declared clazz.method:line, verbatim — line
+//                          numbers are static decl facts, not loop indices;
+//                          two points on different event arms of one method
+//                          must never merge, so only call-string variants of
+//                          the same static point can land in one class;
+//   * meta-info type       the declared type of the accessed field;
+//   * value class          the meta-info group that type traces back to
+//                          (Table 2's row label; the type itself when the
+//                          inference result is absent or does not cover it);
+//   * fault window         the declared network-fault window anchored at the
+//                          point (partition_ms + bug id), or "-";
+//   * recovery-phase span  the SpanDecl name for the point's anchor method,
+//                          falling back to the canonicalized anchor frame;
+//   * canonical context    the call string after loop-index normalization
+//                          (trailing digits of each frame collapse to '#')
+//                          and context-suffix truncation (only the innermost
+//                          kContextSuffixFrames frames are kept — outer
+//                          callers select *how recovery was entered*, not
+//                          what the injected crash interrupts).
+//
+// Pair keys (multi-crash phase) are the unordered combination of the two
+// point keys, so the symmetric orders (A,B) and (B,A) — and any two pairs
+// whose endpoints collapse pointwise — land in one class.
+//
+// Everything here is deterministic: keys are canonical strings, classes are
+// ordered by key, members are ordered by dynamic-point order, and the
+// representative of a class is its lowest member. A partition computed at
+// any thread count is therefore identical.
+#ifndef SRC_ANALYSIS_EQUIVALENCE_H_
+#define SRC_ANALYSIS_EQUIVALENCE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/metainfo_inference.h"
+#include "src/model/program_model.h"
+#include "src/runtime/tracer.h"
+
+namespace ctanalysis {
+
+// One behavioral equivalence class of dynamic crash points.
+struct EquivalenceClass {
+  std::string key;                          // canonical class key
+  std::vector<ctrt::DynamicPoint> members;  // in dynamic-point order
+
+  // Deterministic choice: the lowest member of the class.
+  const ctrt::DynamicPoint& representative() const { return members.front(); }
+};
+
+struct EquivalencePartition {
+  std::vector<EquivalenceClass> classes;  // ordered by class key
+
+  int NumClasses() const { return static_cast<int>(classes.size()); }
+  int TotalMembers() const;
+  // The injection set of a representative campaign: one point per class.
+  std::set<ctrt::DynamicPoint> Representatives() const;
+  // Class key of `point`, or "" if the point is in no class.
+  const EquivalenceClass* ClassOf(const ctrt::DynamicPoint& point) const;
+};
+
+class EquivalenceAnalysis {
+ public:
+  // How many innermost frames of a call string the class key keeps. Two is
+  // the crash site plus its immediate caller; deeper callers only vary how
+  // the workload reached the recovery window.
+  static constexpr int kContextSuffixFrames = 2;
+
+  // `metainfo` may be null (ctlint runs on the model alone); the value-class
+  // component then degrades to the declared field type.
+  EquivalenceAnalysis(const ctmodel::ProgramModel* model, const MetaInfoResult* metainfo)
+      : model_(model), metainfo_(metainfo) {}
+
+  // Loop-index normalization: trailing decimal digits of a frame collapse to
+  // '#' ("CapacityScheduler.nodeUpdate17" → "CapacityScheduler.nodeUpdate#").
+  static std::string CanonicalFrame(const std::string& frame);
+  // Canonical call string: per-frame loop-index normalization, then only the
+  // innermost kContextSuffixFrames frames of the "inner<outer<..." key.
+  static std::string CanonicalizeStackKey(const std::string& stack_key);
+
+  // Class key of one dynamic point.
+  std::string PointClassKey(const ctrt::DynamicPoint& point) const;
+  // Class key of a bare access-point decl (no call string — the context
+  // component is the canonicalized anchor frame). Used by the model linter.
+  std::string DeclClassKey(const ctmodel::AccessPointDecl& point) const;
+  // Unordered pair class key: the two point keys in sorted order.
+  std::string PairClassKey(const ctrt::DynamicPoint& a, const ctrt::DynamicPoint& b) const;
+
+  // Partitions a dynamic point set into equivalence classes (deterministic:
+  // classes by key, members by dynamic-point order).
+  EquivalencePartition PartitionPoints(const std::set<ctrt::DynamicPoint>& points) const;
+
+ private:
+  // The key components shared by PointClassKey and DeclClassKey: everything
+  // except the context suffix.
+  std::string DeclComponents(const ctmodel::AccessPointDecl& point) const;
+
+  const ctmodel::ProgramModel* model_;
+  const MetaInfoResult* metainfo_;  // may be null
+};
+
+}  // namespace ctanalysis
+
+#endif  // SRC_ANALYSIS_EQUIVALENCE_H_

@@ -41,6 +41,14 @@
 //                        (the heal coincides with the cut and nothing is ever
 //                        dropped); or an empty bug id (the window would have
 //                        no ground truth to assert against)
+//   equivalent-crash-point-duplicate
+//                        executable access point, multi-crash pair, or
+//                        network-fault window whose static equivalence class
+//                        (equivalence.h, model facts only) repeats an earlier
+//                        declaration's — the duplicate can never contribute a
+//                        run distinct from the first and is a dead decl; pairs
+//                        compare unordered, so a (B,A) decl of a declared
+//                        (A,B) scenario is flagged
 //   window-without-span-anchor
 //                        malformed span declaration (empty or duplicate name,
 //                        undeclared method), or a declared fault window —

@@ -41,6 +41,21 @@ struct DetectedBug {
   RunOutcome sample_outcome;
 };
 
+// Summary of the equivalence partition behind a representative or validation
+// campaign (src/analysis/equivalence.h). Inactive (all zeros) under the
+// default exhaustive selection, so exhaustive reports are unchanged.
+struct EquivalenceSummary {
+  bool active = false;
+  int classes = 0;             // behavioral equivalence classes
+  int members = 0;             // dynamic points partitioned
+  int injected = 0;            // points actually injected this campaign
+  std::vector<int> class_sizes;  // per class, in class-key order
+  // kValidateRepresentative only: classes whose members contribute a bug
+  // signature their representative does not (the soundness counterexamples).
+  int validation_mismatches = 0;
+  std::vector<std::string> mismatched_class_keys;
+};
+
 struct SystemReport {
   std::string system;
 
@@ -80,6 +95,8 @@ struct SystemReport {
   // with equal trace hashes ran schedule-identical campaigns.
   uint64_t trace_hash = 0;
 
+  EquivalenceSummary equivalence;
+
   ctanalysis::LogAnalysisResult log_result;
   ctanalysis::MetaInfoResult metainfo;
   ctanalysis::CrashPointResult crash_points;
@@ -100,6 +117,20 @@ struct SystemReport {
 //                  provides baseline/duration/logs, contexts are all static
 enum class ContextMode { kProfiled, kStaticSeeded, kStaticOnly };
 
+// Which dynamic crash points Phase 2 injects at.
+//   kExhaustive      every dynamic point (the paper's campaign; the default)
+//   kRepresentative  partition the point set into behavioral equivalence
+//                    classes (src/analysis/equivalence.h) and inject only the
+//                    representative of each class; class sizes land in the
+//                    report's equivalence summary
+//   kValidateRepresentative
+//                    inject the full set, then assert per-class report
+//                    equivalence: the bug signatures contributed by a class's
+//                    members must all be contributed by its representative.
+//                    Violations are counted in the report — the empirical
+//                    soundness measurement behind kRepresentative.
+enum class InjectionSelection { kExhaustive, kRepresentative, kValidateRepresentative };
+
 struct DriverOptions {
   uint64_t seed = 2019;
   // Worker threads for the Phase-2 injection campaign. 1 runs sequentially;
@@ -108,6 +139,9 @@ struct DriverOptions {
   int jobs = 1;
   ctanalysis::CrashPointOptions crash_point_options;
   ContextMode context_mode = ContextMode::kProfiled;
+  // Representative injection (--representative in the driver tools): see
+  // InjectionSelection above.
+  InjectionSelection injection_selection = InjectionSelection::kExhaustive;
   // Call-string bound for the static modes (the tracer's stack depth).
   int static_context_depth = 5;
   // Per-call-string feasibility prune (static modes): drop individual

@@ -19,6 +19,23 @@ std::vector<CrashPairCandidate> EnumerateCrashPairs(const std::set<ctrt::Dynamic
   const size_t cap = max_pairs < 0 ? ordered.size() * ordered.size()
                                    : static_cast<size_t>(max_pairs);
   for (size_t i = 0; i < ordered.size() && pairs.size() < cap; ++i) {
+    for (size_t j = i + 1; j < ordered.size() && pairs.size() < cap; ++j) {
+      pairs.push_back({ordered[i], ordered[j]});
+    }
+  }
+  return pairs;
+}
+
+std::vector<CrashPairCandidate> EnumerateOrderedCrashPairs(
+    const std::set<ctrt::DynamicPoint>& points, long long max_pairs) {
+  std::vector<CrashPairCandidate> pairs;
+  if (max_pairs == 0) {
+    return pairs;
+  }
+  const std::vector<ctrt::DynamicPoint> ordered(points.begin(), points.end());
+  const size_t cap = max_pairs < 0 ? ordered.size() * ordered.size()
+                                   : static_cast<size_t>(max_pairs);
+  for (size_t i = 0; i < ordered.size() && pairs.size() < cap; ++i) {
     for (size_t j = 0; j < ordered.size() && pairs.size() < cap; ++j) {
       if (i == j) {
         continue;
@@ -27,6 +44,39 @@ std::vector<CrashPairCandidate> EnumerateCrashPairs(const std::set<ctrt::Dynamic
     }
   }
   return pairs;
+}
+
+long long PairPartition::TotalPairs() const {
+  long long total = 0;
+  for (const auto& cls : classes) {
+    total += cls.size;
+  }
+  return total;
+}
+
+std::vector<CrashPairCandidate> PairPartition::Representatives() const {
+  std::vector<CrashPairCandidate> pairs;
+  pairs.reserve(classes.size());
+  for (const auto& cls : classes) {
+    pairs.push_back(cls.representative);
+  }
+  return pairs;
+}
+
+PairPartition PartitionCrashPairs(const std::vector<CrashPairCandidate>& pairs,
+                                  const ctanalysis::EquivalenceAnalysis& analysis) {
+  PairPartition partition;
+  std::map<std::string, size_t> index_by_key;
+  for (const CrashPairCandidate& pair : pairs) {
+    const std::string key = analysis.PairClassKey(pair.first, pair.second);
+    auto [it, inserted] = index_by_key.try_emplace(key, partition.classes.size());
+    if (inserted) {
+      partition.classes.push_back({key, pair, 1});
+    } else {
+      ++partition.classes[it->second].size;
+    }
+  }
+  return partition;
 }
 
 double PairSetCrossCheck::Recall() const {
@@ -42,10 +92,12 @@ PairSetCrossCheck ComparePairSets(const std::set<ctrt::DynamicPoint>& profiled_p
                                   const std::set<ctrt::DynamicPoint>& static_points) {
   PairSetCrossCheck check;
   const long long s = static_cast<long long>(static_points.size());
-  check.enumerated = s * (s - 1);
+  check.enumerated = s * (s - 1) / 2;
   // Walk the profiled pairs explicitly (they are the small side) and test
   // membership in the static pair set, which needs only point membership:
-  // (a, b) is statically enumerable iff both endpoints are static points.
+  // {a, b} is statically enumerable iff both endpoints are static points.
+  // Both walks are unordered, so the ratios score distinct candidates rather
+  // than double-counting each one per injection order.
   for (const CrashPairCandidate& pair : EnumerateCrashPairs(profiled_points, -1)) {
     ++check.profiled;
     if (static_points.count(pair.first) > 0 && static_points.count(pair.second) > 0) {
@@ -136,6 +188,41 @@ PairInjectionResult MultiCrashTester::TestPair(const ctrt::DynamicPoint& first,
 MultiCrashReport MultiCrashTester::TestPairs(const ProfileResult& profile,
                                              const std::vector<InjectionResult>& single_results,
                                              int max_pairs, uint64_t seed, int jobs) {
+  // Enumerate the (deterministically ordered, capped) pair list up front so
+  // the runs can fan out across worker threads. The shared enumerator means
+  // a static-only point set feeds the quadratic phase through the very same
+  // walk the profiled set does.
+  return TestPairList(EnumerateCrashPairs(profile.dynamic_access_points, max_pairs),
+                      single_results, seed, jobs);
+}
+
+namespace {
+
+// Content-derived pair seed: FNV-1a over both endpoints, mixed with the base
+// seed. Position-independent, so a pair runs the same simulation whether it
+// sits in the exhaustive walk or alone in a representative list.
+uint64_t PairSeed(uint64_t seed, const CrashPairCandidate& pair) {
+  uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](const std::string& text) {
+    for (char c : text) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;
+    }
+    hash ^= 0xff;
+    hash *= 1099511628211ull;
+  };
+  mix(std::to_string(pair.first.point_id));
+  mix(pair.first.stack_key);
+  mix(std::to_string(pair.second.point_id));
+  mix(pair.second.stack_key);
+  return seed + (hash >> 1);
+}
+
+}  // namespace
+
+MultiCrashReport MultiCrashTester::TestPairList(const std::vector<CrashPairCandidate>& pairs,
+                                                const std::vector<InjectionResult>& single_results,
+                                                uint64_t seed, int jobs) {
   MultiCrashReport report;
   // Failure signatures already reachable with one crash: a pair only counts
   // as "multi-only" if its signature is new.
@@ -149,20 +236,11 @@ MultiCrashReport MultiCrashTester::TestPairs(const ProfileResult& profile,
     }
   }
 
-  // Enumerate the (deterministically ordered, capped) pair list up front so
-  // the runs can fan out across worker threads; each pair's seed derives from
-  // its position in the walk, exactly as the sequential loop assigned them.
-  // The shared enumerator means a static-only point set feeds the quadratic
-  // phase through the very same walk the profiled set does.
-  std::vector<CrashPairCandidate> tasks =
-      EnumerateCrashPairs(profile.dynamic_access_points, max_pairs);
-
   CampaignEngine engine(jobs);
   std::vector<PairInjectionResult> results =
-      engine.Map(static_cast<int>(tasks.size()), [&](int i) {
-        const CrashPairCandidate& task = tasks[static_cast<size_t>(i)];
-        const uint64_t trial = static_cast<uint64_t>(i) + 1;
-        return TestPair(task.first, task.second, seed + 31ull * trial);
+      engine.Map(static_cast<int>(pairs.size()), [&](int i) {
+        const CrashPairCandidate& task = pairs[static_cast<size_t>(i)];
+        return TestPair(task.first, task.second, PairSeed(seed, task));
       });
 
   // Aggregate in pair order: double summation and report rows come out the

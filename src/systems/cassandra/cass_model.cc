@@ -177,6 +177,10 @@ CassArtifacts* Build() {
                  "gossip digest application on a peer"});
   model.AddSpan({"hints.store", "HintsService.write",
                  "hint storage for an unreachable replica"});
+  // Recovery-phase anchors of the remaining executable crash points: the
+  // equivalence partition keys on the span name.
+  model.AddSpan({"coordinator.read", "StorageProxy.readRegular",
+                 "coordinator read against the replica ring"});
   return artifacts;
 }
 

@@ -223,6 +223,18 @@ HBaseArtifacts* Build() {
                  "balancer scan over the online region servers"});
   model.AddSpan({"rs.open-region", "HRegion.openRegionRebalance",
                  "destination RS opening a region moved by the balancer"});
+  // Recovery-phase anchors of the remaining executable crash points: the
+  // equivalence partition keys on the span name.
+  model.AddSpan({"rs.open-region-assign", "HRegion.openRegion",
+                 "RS opening a region on initial assignment"});
+  model.AddSpan({"rs.init-metrics", "HRegionServer.initializeMetrics",
+                 "RS metrics subsystem bring-up"});
+  model.AddSpan({"master.cluster-status", "MasterRpcServices.getClusterStatus",
+                 "client-facing cluster status read on the master"});
+  model.AddSpan({"rs.metrics-wrapper-init", "MetricsRegionServerWrapperImpl.init",
+                 "metrics wrapper initialization over server state"});
+  model.AddSpan({"rs.refresh-peers", "ReplicationZKWatcher.refreshPeers",
+                 "replication peer list refresh from ZK"});
   return artifacts;
 }
 

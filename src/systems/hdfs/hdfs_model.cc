@@ -222,6 +222,12 @@ HdfsArtifacts* Build() {
                  "DN (re-)registration with the NameNode"});
   model.AddSpan({"dn.block-report", "BPOfferService.blockReport",
                  "full block report from a DN to the NameNode"});
+  // Recovery-phase anchors of the remaining executable crash points: the
+  // equivalence partition keys on the span name.
+  model.AddSpan({"nn.edit-replay", "FSEditLogLoader.replay",
+                 "edit-log replay during namespace recovery"});
+  model.AddSpan({"nn.fs-status", "FSNamesystem.getFsStatus",
+                 "filesystem status read against namespace state"});
   return artifacts;
 }
 

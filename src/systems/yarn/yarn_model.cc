@@ -638,6 +638,37 @@ void BuildSpans(YarnArtifacts* artifacts) {
                  "NM (re-)registration with the tracker"});
   model.AddSpan({"rm.allocate-opportunistic", "OpportunisticContainerAllocator.allocateNodes",
                  "opportunistic allocation over the candidate node set"});
+  // Recovery-phase anchors of the remaining executable crash points: the
+  // equivalence partition keys on the span name (falling back to the raw
+  // frame), so every injectable anchor gets the model's vocabulary.
+  model.AddSpan({"rm.complete-container", "AbstractYarnScheduler.completeContainer",
+                 "scheduler-side container completion bookkeeping"});
+  model.AddSpan({"rm.confirm-container", "AbstractYarnScheduler.confirmContainer",
+                 "scheduler confirmation of an allocated container"});
+  model.AddSpan({"rm.allocate-guaranteed", "CapacityScheduler.allocateGuaranteed",
+                 "guaranteed-capacity allocation pass"});
+  model.AddSpan({"rm.cluster-status", "ClientRMService.getClusterStatus",
+                 "client-facing cluster status read"});
+  model.AddSpan({"nm.launch-jvm", "ContainerLaunch.launchJvm",
+                 "NM-side task JVM launch"});
+  model.AddSpan({"am.task-status-update", "MRAppMaster.statusUpdate",
+                 "AM ingest of a task attempt status report"});
+  model.AddSpan({"rm.node-report", "NodeListManager.getNodeReport",
+                 "node list lookup for a report request"});
+  model.AddSpan({"rm.allocate-opportunistic-ams", "OpportunisticAMSProcessor.allocate",
+                 "AMS-side opportunistic allocate call"});
+  model.AddSpan({"rm.finish-application", "RMAppImpl.finishApplication",
+                 "application finish transition on the RM"});
+  model.AddSpan({"am.container-assigned", "RMContainerAllocator.assigned",
+                 "AM-side record of a container assignment"});
+  model.AddSpan({"rm.container-launched", "RMContainerImpl.processLaunched",
+                 "RM container transition to LAUNCHED"});
+  model.AddSpan({"am.task-attempt-init", "TaskAttemptImpl.initialize",
+                 "task attempt initialization on the AM"});
+  model.AddSpan({"am.commit-pending", "TaskAttemptListener.commitPending",
+                 "task attempt commit-pending notification"});
+  model.AddSpan({"am.task-done", "TaskAttemptListener.done",
+                 "task attempt completion notification"});
 }
 
 YarnArtifacts* BuildArtifacts(YarnMode mode) {

@@ -205,6 +205,10 @@ ZkArtifacts* Build() {
                  "znode commit into the data tree"});
   model.AddSpan({"quorum.update-vote", "QuorumPeer.updateElectionVote",
                  "quorum view/vote update during election recovery"});
+  // Recovery-phase anchors of the remaining executable crash points: the
+  // equivalence partition keys on the span name.
+  model.AddSpan({"tree.get-znode", "DataTree.getData",
+                 "znode read out of the data tree"});
   return artifacts;
 }
 

@@ -1,0 +1,283 @@
+// Static equivalence-class partitioning (src/analysis/equivalence.h).
+//
+// Covers the canonicalization algebra (loop-index normalization and
+// context-suffix truncation), the unordered symmetry of pair class keys, the
+// determinism and structure of partitions over real dynamic point sets, the
+// driver's representative and validation injection modes, and the model
+// linter's equivalent-crash-point-duplicate check on a synthetic model with
+// dead declarations.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/equivalence.h"
+#include "src/analysis/model_lint.h"
+#include "src/core/crashtuner.h"
+#include "src/core/multi_crash.h"
+#include "src/core/report_writer.h"
+#include "src/model/program_model.h"
+#include "src/systems/yarn/yarn_system.h"
+#include "src/systems/zookeeper/zk_system.h"
+
+namespace {
+
+using ctanalysis::EquivalenceAnalysis;
+using ctanalysis::EquivalencePartition;
+using ctcore::ContextMode;
+using ctcore::CrashTunerDriver;
+using ctcore::DriverOptions;
+using ctcore::InjectionSelection;
+using ctcore::SystemReport;
+using ctrt::DynamicPoint;
+
+// --- Canonicalization algebra ----------------------------------------------
+
+TEST(Canonicalization, TrailingDigitsCollapseToHash) {
+  EXPECT_EQ(EquivalenceAnalysis::CanonicalFrame("Scheduler.nodeUpdate17"),
+            "Scheduler.nodeUpdate#");
+  EXPECT_EQ(EquivalenceAnalysis::CanonicalFrame("Scheduler.nodeUpdate"),
+            "Scheduler.nodeUpdate");
+  // Digits-only frames stay untouched: there is no stem to normalize onto.
+  EXPECT_EQ(EquivalenceAnalysis::CanonicalFrame("123"), "123");
+  EXPECT_EQ(EquivalenceAnalysis::CanonicalFrame(""), "");
+}
+
+TEST(Canonicalization, IsIdempotent) {
+  for (const std::string frame : {"A.b12", "A.b", "A.b#", "7", "x9y8"}) {
+    const std::string once = EquivalenceAnalysis::CanonicalFrame(frame);
+    EXPECT_EQ(EquivalenceAnalysis::CanonicalFrame(once), once) << frame;
+  }
+}
+
+TEST(Canonicalization, StackKeyKeepsInnermostSuffixOnly) {
+  // Innermost kContextSuffixFrames frames survive, each loop-normalized;
+  // outer callers (how the workload reached recovery) are dropped.
+  ASSERT_EQ(EquivalenceAnalysis::kContextSuffixFrames, 2);
+  EXPECT_EQ(EquivalenceAnalysis::CanonicalizeStackKey("A.b3<C.d<E.f<G.h"), "A.b#<C.d");
+  EXPECT_EQ(EquivalenceAnalysis::CanonicalizeStackKey("A.b<C.d9"), "A.b<C.d#");
+  EXPECT_EQ(EquivalenceAnalysis::CanonicalizeStackKey("A.b"), "A.b");
+  EXPECT_EQ(EquivalenceAnalysis::CanonicalizeStackKey(""), "");
+}
+
+// --- Class keys over a real model ------------------------------------------
+
+SystemReport StaticRun(const ctcore::SystemUnderTest& system) {
+  DriverOptions options;
+  options.context_mode = ContextMode::kStaticOnly;
+  return CrashTunerDriver().Run(system, options);
+}
+
+TEST(ClassKeys, PairKeyIsSymmetric) {
+  ctzk::ZkSystem system;
+  SystemReport report = StaticRun(system);
+  EquivalenceAnalysis analysis(&system.model(), &report.metainfo);
+  const auto& points = report.profile.dynamic_access_points;
+  for (const auto& a : points) {
+    for (const auto& b : points) {
+      EXPECT_EQ(analysis.PairClassKey(a, b), analysis.PairClassKey(b, a));
+    }
+  }
+}
+
+TEST(ClassKeys, LoopIndexVariantsMergeAndDistinctSitesNever) {
+  ctyarn::YarnSystem system;
+  SystemReport report = StaticRun(system);
+  EquivalenceAnalysis analysis(&system.model(), &report.metainfo);
+  // Same static point under call strings differing only by a loop index:
+  // one class.
+  DynamicPoint loop_a{5, "CapacityScheduler.nodeUpdate3<Dispatcher.dispatch"};
+  DynamicPoint loop_b{5, "CapacityScheduler.nodeUpdate11<Dispatcher.dispatch"};
+  EXPECT_EQ(analysis.PointClassKey(loop_a), analysis.PointClassKey(loop_b));
+  // Two static points at different lines never merge, even with identical
+  // anchor method, field type, and context — different event arms of one
+  // dispatch method are behaviorally distinct (the site is in the key).
+  const auto& model = system.model();
+  const std::string shared_key = loop_a.stack_key;
+  std::vector<std::pair<int, std::string>> keys;  // (line, class key) per point
+  for (const auto& point : model.access_points()) {
+    if (point.executable) {
+      keys.emplace_back(point.line, analysis.PointClassKey({point.id, shared_key}));
+    }
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (size_t j = i + 1; j < keys.size(); ++j) {
+      if (keys[i].first != keys[j].first) {
+        EXPECT_NE(keys[i].second, keys[j].second);
+      }
+    }
+  }
+}
+
+TEST(Partition, IsDeterministicAndCoversInput) {
+  ctyarn::YarnSystem system;
+  SystemReport report = StaticRun(system);
+  EquivalenceAnalysis analysis(&system.model(), &report.metainfo);
+  const auto& points = report.profile.dynamic_access_points;
+  EquivalencePartition first = analysis.PartitionPoints(points);
+  EquivalencePartition second = analysis.PartitionPoints(points);
+
+  ASSERT_EQ(first.NumClasses(), second.NumClasses());
+  std::set<DynamicPoint> covered;
+  for (int i = 0; i < first.NumClasses(); ++i) {
+    const auto& cls = first.classes[static_cast<size_t>(i)];
+    EXPECT_EQ(cls.key, second.classes[static_cast<size_t>(i)].key);
+    EXPECT_EQ(cls.members, second.classes[static_cast<size_t>(i)].members);
+    ASSERT_FALSE(cls.members.empty());
+    // The representative is the lowest member, members arrive sorted, and
+    // every member maps back to its own class key.
+    EXPECT_EQ(cls.representative(), cls.members.front());
+    for (size_t m = 0; m < cls.members.size(); ++m) {
+      if (m > 0) {
+        EXPECT_TRUE(cls.members[m - 1] < cls.members[m]);
+      }
+      EXPECT_EQ(analysis.PointClassKey(cls.members[m]), cls.key);
+      EXPECT_TRUE(covered.insert(cls.members[m]).second);
+    }
+  }
+  EXPECT_EQ(covered, points);
+  EXPECT_EQ(first.TotalMembers(), static_cast<int>(points.size()));
+  EXPECT_EQ(static_cast<int>(first.Representatives().size()), first.NumClasses());
+}
+
+TEST(Partition, PairPartitionCollapsesExactlyTheOrderedSlack) {
+  ctzk::ZkSystem system;
+  SystemReport report = StaticRun(system);
+  EquivalenceAnalysis analysis(&system.model(), &report.metainfo);
+  const auto& points = report.profile.dynamic_access_points;
+  // ZooKeeper's point classes are singletons, so partitioning the ordered
+  // walk halves it exactly (pure (A,B)/(B,A) symmetry) and partitioning the
+  // unordered enumeration is the identity.
+  auto ordered = ctcore::EnumerateOrderedCrashPairs(points, -1);
+  auto unordered = ctcore::EnumerateCrashPairs(points, -1);
+  EXPECT_EQ(ordered.size(), unordered.size() * 2);
+  EXPECT_EQ(ctcore::PartitionCrashPairs(ordered, analysis).NumClasses(),
+            static_cast<int>(unordered.size()));
+  ctcore::PairPartition partition = ctcore::PartitionCrashPairs(unordered, analysis);
+  EXPECT_EQ(partition.NumClasses(), static_cast<int>(unordered.size()));
+  EXPECT_EQ(partition.TotalPairs(), static_cast<int>(unordered.size()));
+}
+
+// --- Driver modes -----------------------------------------------------------
+
+std::string SerializeNoWall(SystemReport report) {
+  report.analysis_wall_seconds = 0;
+  report.test_wall_seconds = 0;
+  return ctcore::ReportToJson(report);
+}
+
+TEST(DriverModes, RepresentativeIsDeterministicAcrossJobs) {
+  ctyarn::YarnSystem system;
+  DriverOptions options;
+  options.context_mode = ContextMode::kStaticOnly;
+  options.injection_selection = InjectionSelection::kRepresentative;
+  options.jobs = 1;
+  SystemReport seq = CrashTunerDriver().Run(system, options);
+  options.jobs = 4;
+  SystemReport par = CrashTunerDriver().Run(system, options);
+  EXPECT_EQ(SerializeNoWall(seq), SerializeNoWall(par));
+
+  EXPECT_TRUE(seq.equivalence.active);
+  EXPECT_EQ(seq.equivalence.injected, seq.equivalence.classes);
+  EXPECT_LE(seq.equivalence.classes, seq.equivalence.members);
+  EXPECT_EQ(static_cast<int>(seq.injections.size()), seq.equivalence.classes);
+  int size_sum = 0;
+  for (int size : seq.equivalence.class_sizes) {
+    EXPECT_GE(size, 1);
+    size_sum += size;
+  }
+  EXPECT_EQ(size_sum, seq.equivalence.members);
+}
+
+TEST(DriverModes, ValidationFindsNoMismatchedClasses) {
+  ctyarn::YarnSystem system;
+  DriverOptions options;
+  options.context_mode = ContextMode::kStaticOnly;
+  options.injection_selection = InjectionSelection::kValidateRepresentative;
+  SystemReport report = CrashTunerDriver().Run(system, options);
+  EXPECT_TRUE(report.equivalence.active);
+  // Validation injects the full set and checks every class member reports
+  // the same bug signature as its representative.
+  EXPECT_EQ(report.equivalence.injected, report.equivalence.members);
+  EXPECT_EQ(report.equivalence.validation_mismatches, 0)
+      << "class(es) with members reporting differently than their representative: "
+      << (report.equivalence.mismatched_class_keys.empty()
+              ? ""
+              : report.equivalence.mismatched_class_keys.front());
+  EXPECT_TRUE(report.equivalence.mismatched_class_keys.empty());
+}
+
+TEST(DriverModes, ExhaustiveReportsCarryNoEquivalenceSection) {
+  ctzk::ZkSystem system;
+  SystemReport report = StaticRun(system);
+  EXPECT_FALSE(report.equivalence.active);
+  EXPECT_EQ(ctcore::ReportToJson(report).find("\"equivalence\""), std::string::npos);
+}
+
+// --- Linter: equivalent-crash-point-duplicate -------------------------------
+
+// A minimal well-formed model: one entry method, one field, and knobs to add
+// duplicate and non-duplicate declarations.
+ctmodel::ProgramModel LintModelBase() {
+  ctmodel::ProgramModel model("lint");
+  ctmodel::TypeDecl node_id;
+  node_id.name = "NodeId";
+  model.AddType(node_id);
+  ctmodel::FieldDecl field;
+  field.id = "Holder.node";
+  field.clazz = "Holder";
+  field.name = "node";
+  field.type = "NodeId";
+  model.AddField(field);
+  ctmodel::MethodDecl method;
+  method.clazz = "Server";
+  method.name = "rpc";
+  method.entry_point = true;
+  model.AddMethod(method);
+  return model;
+}
+
+ctmodel::AccessPointDecl LintPoint(int line) {
+  ctmodel::AccessPointDecl point;
+  point.field_id = "Holder.node";
+  point.kind = ctmodel::AccessKind::kRead;
+  point.clazz = "Server";
+  point.method = "rpc";
+  point.line = line;
+  point.executable = true;
+  return point;
+}
+
+TEST(Lint, FlagsEquivalentDuplicatePointsAndPairs) {
+  ctmodel::ProgramModel model = LintModelBase();
+  model.AddAccessPoint(LintPoint(10));
+  model.AddAccessPoint(LintPoint(20));  // distinct site: not a duplicate
+  model.AddAccessPoint(LintPoint(10));  // same class key as the first: dead
+  // Unordered pair symmetry: declaring both orders is one dead declaration.
+  model.AddMultiCrashPair({0, 1, "window"});
+  model.AddMultiCrashPair({1, 0, "window, reversed"});
+  ctanalysis::LintResult result = ctanalysis::LintModel(model);
+  EXPECT_EQ(result.CountOf("equivalent-crash-point-duplicate"), 2);
+}
+
+TEST(Lint, CleanModelHasNoDuplicates) {
+  ctmodel::ProgramModel model = LintModelBase();
+  model.AddAccessPoint(LintPoint(10));
+  model.AddAccessPoint(LintPoint(20));
+  model.AddMultiCrashPair({0, 1, "window"});
+  ctanalysis::LintResult result = ctanalysis::LintModel(model);
+  EXPECT_EQ(result.CountOf("equivalent-crash-point-duplicate"), 0);
+}
+
+TEST(Lint, ShippedModelsHaveNoDuplicates) {
+  EXPECT_EQ(ctanalysis::LintModel(ctyarn::YarnSystem().model())
+                .CountOf("equivalent-crash-point-duplicate"),
+            0);
+  EXPECT_EQ(ctanalysis::LintModel(ctzk::ZkSystem().model())
+                .CountOf("equivalent-crash-point-duplicate"),
+            0);
+}
+
+}  // namespace

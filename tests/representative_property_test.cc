@@ -1,0 +1,72 @@
+// Property: representative injection loses no bugs.
+//
+// For every shipped system, the representative campaign (one injection per
+// static equivalence class) must triage exactly the bug-id set of the
+// exhaustive campaign — in both context modes. This is the soundness claim
+// behind BENCH_representative.json's 100% recall column, asserted as a test
+// so a key refinement that silently over-merges classes fails CI rather than
+// only denting a bench number.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/core/crashtuner.h"
+#include "src/systems/cassandra/cass_system.h"
+#include "src/systems/hbase/hbase_system.h"
+#include "src/systems/hdfs/hdfs_system.h"
+#include "src/systems/yarn/yarn_system.h"
+#include "src/systems/zookeeper/zk_system.h"
+
+namespace {
+
+using ctcore::ContextMode;
+using ctcore::CrashTunerDriver;
+using ctcore::DriverOptions;
+using ctcore::InjectionSelection;
+using ctcore::SystemReport;
+
+std::set<std::string> BugIds(const SystemReport& report) {
+  std::set<std::string> ids;
+  for (const auto& bug : report.bugs) {
+    ids.insert(bug.bug_id);
+  }
+  return ids;
+}
+
+void ExpectEqualRecall(const ctcore::SystemUnderTest& system, ContextMode mode) {
+  SCOPED_TRACE(system.name());
+  CrashTunerDriver driver;
+  DriverOptions options;
+  options.context_mode = mode;
+  SystemReport exhaustive = driver.Run(system, options);
+  options.injection_selection = InjectionSelection::kRepresentative;
+  SystemReport representative = driver.Run(system, options);
+
+  EXPECT_EQ(BugIds(representative), BugIds(exhaustive));
+  EXPECT_TRUE(representative.equivalence.active);
+  EXPECT_LE(representative.equivalence.classes, representative.equivalence.members);
+  EXPECT_EQ(static_cast<int>(representative.injections.size()),
+            representative.equivalence.classes);
+  // Exhaustive stays exhaustive: no partition is applied or reported there.
+  EXPECT_FALSE(exhaustive.equivalence.active);
+  EXPECT_EQ(static_cast<int>(exhaustive.injections.size()),
+            static_cast<int>(exhaustive.profile.dynamic_access_points.size()));
+}
+
+class RepresentativeRecall : public ::testing::TestWithParam<ContextMode> {};
+
+TEST_P(RepresentativeRecall, Yarn) { ExpectEqualRecall(ctyarn::YarnSystem(), GetParam()); }
+TEST_P(RepresentativeRecall, Hdfs) { ExpectEqualRecall(cthdfs::HdfsSystem(), GetParam()); }
+TEST_P(RepresentativeRecall, HBase) { ExpectEqualRecall(cthbase::HBaseSystem(), GetParam()); }
+TEST_P(RepresentativeRecall, ZooKeeper) { ExpectEqualRecall(ctzk::ZkSystem(), GetParam()); }
+TEST_P(RepresentativeRecall, Cassandra) { ExpectEqualRecall(ctcass::CassSystem(), GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(BothContextModes, RepresentativeRecall,
+                         ::testing::Values(ContextMode::kStaticOnly, ContextMode::kProfiled),
+                         [](const ::testing::TestParamInfo<ContextMode>& info) {
+                           return info.param == ContextMode::kStaticOnly ? "StaticOnly"
+                                                                         : "Profiled";
+                         });
+
+}  // namespace

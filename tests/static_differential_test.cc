@@ -134,7 +134,18 @@ TEST(StaticDifferential, PairEnumeratorIsSharedAndPrefixStable) {
   const auto& points = report.profile.dynamic_access_points;
   auto uncapped = ctcore::EnumerateCrashPairs(points, -1);
   const long long n = static_cast<long long>(points.size());
-  EXPECT_EQ(static_cast<long long>(uncapped.size()), n * (n - 1));
+  EXPECT_EQ(static_cast<long long>(uncapped.size()), n * (n - 1) / 2);
+  // The ordered walk is the pre-dedupe space: exactly both orders of every
+  // unordered pair.
+  auto ordered = ctcore::EnumerateOrderedCrashPairs(points, -1);
+  EXPECT_EQ(static_cast<long long>(ordered.size()), n * (n - 1));
+  std::set<ctcore::CrashPairCandidate> unordered_set;
+  for (const auto& pair : ordered) {
+    unordered_set.insert(pair.second < pair.first ? ctcore::CrashPairCandidate{pair.second,
+                                                                               pair.first}
+                                                  : pair);
+  }
+  EXPECT_EQ(unordered_set.size(), uncapped.size());
   auto capped = ctcore::EnumerateCrashPairs(points, 5);
   ASSERT_LE(capped.size(), 5u);
   for (size_t i = 0; i < capped.size(); ++i) {

@@ -67,6 +67,16 @@ echo "== stage 4d: campaign observability (metrics snapshot + Chrome trace) =="
 ./build/tools/ctstat build/metrics_snapshot.json --check \
   --json build/BENCH_observability.json | tail -n 3
 
+echo "== stage 4e: representative injection smoke (equivalence classes vs exhaustive) =="
+# Partitions crash points and pairs into static equivalence classes on every
+# system and runs the representative campaign against the exhaustive one,
+# leaving classes / reduction / recall / wall numbers in
+# BENCH_representative.json. The bench exits nonzero if any system falls
+# below 100% recall or the 2x multi-crash reduction; per-class equivalence
+# itself is asserted by equivalence_test and representative_property_test.
+./build/bench/bench_representative --jobs 0 --json build/BENCH_representative.json \
+  | tail -n 12
+
 if [[ "$skip_sanitizers" == 1 ]]; then
   echo "== stages 5-6: sanitizers skipped =="
   exit 0
