@@ -11,7 +11,10 @@
 //                              per-class outcome equivalence (mismatch counts
 //                              land in the report's equivalence section);
 //   --static-only              enumerate contexts statically, no profiling;
-//   --jobs N                   campaign worker threads (0 = hardware).
+//   --jobs N                   campaign worker threads (0 = hardware);
+//   --scale N                  deployment scale multiplier: every system's
+//                              replicated-role count and workload size grow
+//                              N-fold (1 = the paper's deployment).
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -60,6 +63,7 @@ void Export(const ctcore::SystemUnderTest& system, const ctcore::DriverOptions& 
 int main(int argc, char** argv) {
   std::filesystem::path directory = "/tmp/crashtuner-reports";
   ctcore::DriverOptions options;
+  int scale = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--representative") {
@@ -70,10 +74,16 @@ int main(int argc, char** argv) {
       options.context_mode = ctcore::ContextMode::kStaticOnly;
     } else if (arg == "--jobs" && i + 1 < argc) {
       options.jobs = std::atoi(argv[++i]);
+    } else if (arg == "--scale" && i + 1 < argc) {
+      scale = std::atoi(argv[++i]);
+      if (scale < 1) {
+        std::fprintf(stderr, "--scale must be >= 1\n");
+        return 2;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr,
                    "usage: export_report [DIR] [--representative | "
-                   "--validate-representative] [--static-only] [--jobs N]\n");
+                   "--validate-representative] [--static-only] [--jobs N] [--scale N]\n");
       return 2;
     } else {
       directory = arg;
@@ -81,10 +91,15 @@ int main(int argc, char** argv) {
   }
   std::filesystem::create_directories(directory);
 
-  Export(ctyarn::YarnSystem(), options, directory);
-  Export(cthdfs::HdfsSystem(), options, directory);
-  Export(cthbase::HBaseSystem(), options, directory);
-  Export(ctzk::ZkSystem(), options, directory);
-  Export(ctcass::CassSystem(), options, directory);
+  ctyarn::YarnSystem yarn;
+  cthdfs::HdfsSystem hdfs;
+  cthbase::HBaseSystem hbase;
+  ctzk::ZkSystem zk;
+  ctcass::CassSystem cass;
+  for (ctcore::SystemUnderTest* system :
+       std::initializer_list<ctcore::SystemUnderTest*>{&yarn, &hdfs, &hbase, &zk, &cass}) {
+    system->set_scale(scale);
+    Export(*system, options, directory);
+  }
   return 0;
 }

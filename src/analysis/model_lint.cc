@@ -1,5 +1,7 @@
 #include "src/analysis/model_lint.h"
 
+#include <cctype>
+#include <cstring>
 #include <map>
 #include <set>
 #include <utility>
@@ -7,6 +9,7 @@
 #include "src/analysis/call_graph.h"
 #include "src/analysis/crash_point_analysis.h"
 #include "src/analysis/equivalence.h"
+#include "src/common/strings.h"
 #include "src/logging/statement.h"
 
 namespace ctanalysis {
@@ -21,6 +24,43 @@ std::string PointSubject(const ctmodel::AccessPointDecl& point) {
 std::string IoPointSubject(const ctmodel::IoPointDecl& point) {
   return "io#" + std::to_string(point.id) + " (" + point.io_class + "." + point.io_method +
          " @ " + point.callsite + ")";
+}
+
+// A decl token embeds a concrete node index when a node-role stem is followed
+// immediately by a digit run ("node3", "rserver12"), or when it names a
+// host:port instance ("node1:42349"). Model declarations describe *roles* in
+// the target program — under --scale the deployment is stamped out N times,
+// and a decl pinned to one member of one deployment silently stops matching
+// everything beyond the first replica. Deliberately handwritten (the two
+// shapes are trivial) so the linter stays regex-free.
+bool EmbedsConcreteNodeIndex(const std::string& text) {
+  const std::string lower = ctcommon::ToLower(text);
+  static const char* kStems[] = {"node", "dnode", "rserver", "zkpeer", "cass", "namenode"};
+  for (const char* stem : kStems) {
+    const size_t stem_len = std::strlen(stem);
+    for (size_t pos = lower.find(stem); pos != std::string::npos;
+         pos = lower.find(stem, pos + 1)) {
+      const size_t after = pos + stem_len;
+      if (after < lower.size() && std::isdigit(static_cast<unsigned char>(lower[after]))) {
+        return true;
+      }
+    }
+  }
+  // host:port — a letter, a digit run, ':', a digit: "host7:9000".
+  for (size_t i = 1; i + 1 < lower.size(); ++i) {
+    if (lower[i] != ':' || !std::isdigit(static_cast<unsigned char>(lower[i + 1]))) {
+      continue;
+    }
+    size_t digits = i;
+    while (digits > 0 && std::isdigit(static_cast<unsigned char>(lower[digits - 1]))) {
+      --digits;
+    }
+    if (digits < i && digits > 0 &&
+        std::isalpha(static_cast<unsigned char>(lower[digits - 1]))) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
@@ -251,6 +291,35 @@ LintResult LintModel(const ctmodel::ProgramModel& model) {
     require_span("netwindow#" + std::to_string(i) + " (point " +
                      std::to_string(window.point) + ")",
                  window.point);
+  }
+
+  // Scale invariance: declarations must not embed concrete node indices or
+  // host:port instances. The --scale knob multiplies replicated roles, so a
+  // decl naming one concrete member ("rserver3.open") matches only the first
+  // replica of a scaled deployment and quietly under-counts the rest. Span
+  // notes are exempt: they are prose for humans, not matched against runtime
+  // state.
+  for (const auto& point : model.access_points()) {
+    for (const std::string* token : {&point.clazz, &point.method, &point.context_method}) {
+      if (EmbedsConcreteNodeIndex(*token)) {
+        report("scale-invariant-decl", PointSubject(point),
+               "'" + *token + "' embeds a concrete node index — declare the role, "
+               "not one deployment member");
+        break;  // one finding per point is enough to act on
+      }
+    }
+  }
+  for (size_t i = 0; i < model.spans().size(); ++i) {
+    const ctmodel::SpanDecl& span = model.spans()[i];
+    for (const std::string* token : {&span.name, &span.method}) {
+      if (EmbedsConcreteNodeIndex(*token)) {
+        report("scale-invariant-decl",
+               "span#" + std::to_string(i) + " ('" + span.name + "')",
+               "'" + *token + "' embeds a concrete node index — declare the role, "
+               "not one deployment member");
+        break;
+      }
+    }
   }
 
   // Equivalence-class duplicates: a decl whose static class key (equivalence.h

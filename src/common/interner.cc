@@ -1,0 +1,42 @@
+#include "src/common/interner.h"
+
+namespace ctcommon {
+
+const std::string& Symbol::EmptyString() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+
+InternTable::InternTable() {
+  // Id 0 is always the empty string, so a default-constructed Symbol is a
+  // valid "absent / anonymous" token for any table.
+  Intern(std::string_view());
+}
+
+Symbol InternTable::Intern(std::string_view text) {
+  auto it = ids_.find(text);
+  if (it != ids_.end()) {
+    return Symbol(it->second, &strings_[it->second]);
+  }
+  const uint32_t id = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(text);
+  ids_.emplace(std::string_view(strings_.back()), id);
+  return Symbol(id, &strings_.back());
+}
+
+Symbol InternTable::Find(std::string_view text) const {
+  auto it = ids_.find(text);
+  if (it == ids_.end()) {
+    return Symbol();
+  }
+  return Symbol(it->second, &strings_[it->second]);
+}
+
+Symbol InternTable::At(uint32_t id) const {
+  if (id >= strings_.size()) {
+    return Symbol();
+  }
+  return Symbol(id, &strings_[id]);
+}
+
+}  // namespace ctcommon

@@ -1,0 +1,107 @@
+// Per-run string interning for hot-path identities.
+//
+// Node ids, RPC method names and payload keys are short strings that the
+// simulator used to hash and compare millions of times per campaign. A
+// Symbol is a 4-byte token backed by an InternTable: equality and hashing
+// are integer ops, while the original string stays reachable through the
+// token so the model/report boundary (logs, traces, goldens) keeps producing
+// byte-identical text.
+//
+// Symbols are only comparable when they come from the same table. Each
+// Cluster owns one table, and a cluster is the unit of one run, so the
+// single-table rule holds by construction; nothing here is thread-safe, by
+// design — runs never share a table across threads.
+#ifndef SRC_COMMON_INTERNER_H_
+#define SRC_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ctcommon {
+
+class InternTable;
+
+// Value-type token for an interned string: {dense id, pointer to the table's
+// copy}. Default-constructed symbols denote the empty string (id 0, which
+// every table reserves for "").
+class Symbol {
+ public:
+  constexpr Symbol() = default;
+
+  uint32_t id() const { return id_; }
+  bool empty() const { return id_ == 0; }
+  const std::string& str() const { return text_ != nullptr ? *text_ : EmptyString(); }
+  const char* c_str() const { return str().c_str(); }
+  size_t size() const { return str().size(); }
+
+  // Symbols pass as strings wherever the old string-typed APIs remain (the
+  // model/report boundary): the reference aliases the table's stable copy.
+  operator const std::string&() const { return str(); }  // NOLINT(google-explicit-constructor)
+
+ private:
+  friend class InternTable;
+  static const std::string& EmptyString();
+  Symbol(uint32_t id, const std::string* text) : id_(id), text_(text) {}
+
+  uint32_t id_ = 0;
+  const std::string* text_ = nullptr;
+};
+
+// Same-table identity comparison: O(1), no character access.
+inline bool operator==(Symbol a, Symbol b) { return a.id() == b.id(); }
+inline bool operator!=(Symbol a, Symbol b) { return a.id() != b.id(); }
+// Ordering stays *string* ordering so replacing a std::string key or sort
+// with a Symbol cannot silently reorder sweeps, maps or reports.
+inline bool operator<(Symbol a, Symbol b) { return a.str() < b.str(); }
+
+// std::string's own comparison/concatenation operators are templates and do
+// not deduce through Symbol's conversion; these overloads keep mixed
+// expressions ("host " + m.from, id == m.to) compiling unchanged.
+inline bool operator==(Symbol a, const std::string& b) { return a.str() == b; }
+inline bool operator==(Symbol a, const char* b) { return a.str() == b; }
+inline std::string operator+(Symbol a, const std::string& b) { return a.str() + b; }
+inline std::string operator+(const std::string& a, Symbol b) { return a + b.str(); }
+inline std::string operator+(Symbol a, const char* b) { return a.str() + b; }
+inline std::string operator+(const char* a, Symbol b) { return a + b.str(); }
+
+// Hash/equality functors for Symbol-keyed unordered containers. Ids are
+// dense and unique per table, so the id itself is a perfect hash.
+struct SymbolIdHash {
+  size_t operator()(Symbol s) const { return s.id(); }
+};
+struct SymbolIdEq {
+  bool operator()(Symbol a, Symbol b) const { return a.id() == b.id(); }
+};
+
+// Append-only intern table. Storage is a deque so interned strings never
+// move; the Symbol's text pointer stays valid for the table's lifetime.
+class InternTable {
+ public:
+  InternTable();
+  InternTable(const InternTable&) = delete;
+  InternTable& operator=(const InternTable&) = delete;
+
+  // Returns the symbol for `text`, interning it on first sight.
+  Symbol Intern(std::string_view text);
+
+  // Non-creating lookup: the empty symbol when `text` was never interned
+  // (indistinguishable from looking up "", which is always id 0).
+  Symbol Find(std::string_view text) const;
+
+  // The symbol for an id handed out earlier by this table.
+  Symbol At(uint32_t id) const;
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::deque<std::string> strings_;
+  // Keys view into strings_, whose elements never move or die.
+  std::unordered_map<std::string_view, uint32_t> ids_;
+};
+
+}  // namespace ctcommon
+
+#endif  // SRC_COMMON_INTERNER_H_

@@ -91,7 +91,11 @@ RunOutcome Executor::Execute(WorkloadRun& run, const OracleBaseline* baseline) {
     ctobs::MetricsShard& metrics = observer->metrics();
     metrics.Add("run.count");
     metrics.Add("events.dispatched", loop.executed_events());
+    metrics.Add("events.scheduled", loop.scheduled_events());
+    metrics.Add("events.cancelled", loop.cancelled_events());
     metrics.Add("events.skipped_dead_owner", loop.skipped_dead_owner_events());
+    metrics.SetGauge("events.peak_pending", static_cast<int64_t>(loop.peak_pending_events()));
+    metrics.SetGauge("sim.interned_symbols", static_cast<int64_t>(cluster.interner().size()));
     metrics.Add("messages.delivered", cluster.delivered_messages());
     metrics.Add("messages.dropped_dead", cluster.dropped_messages());
     metrics.Add("messages.dropped_plan", cluster.plan_dropped_messages());

@@ -83,6 +83,16 @@ class SystemUnderTest {
 
   virtual int default_workload_size() const { return 1; }
 
+  // Deployment scale multiplier (the --scale campaign knob). Each system
+  // multiplies its replicated-role count (workers, datanodes, quorum peers,
+  // region servers + regions, gossip members) and its default workload size
+  // by this factor when building a run. Scale 1 is the paper's deployment and
+  // every report and trace hash at scale 1 is byte-identical to the unscaled
+  // code. Set it before handing the system to a driver; runs already built
+  // keep the scale they were built with.
+  void set_scale(int scale) { scale_ = scale < 1 ? 1 : scale; }
+  int scale() const { return scale_; }
+
   // Triage table for report generation.
   virtual std::vector<KnownBug> known_bugs() const { return {}; }
 
@@ -90,6 +100,13 @@ class SystemUnderTest {
   // System-specific deployment factory; called by NewRun with the run's
   // context already bound to the calling thread.
   virtual std::unique_ptr<WorkloadRun> MakeRun(int workload_size, uint64_t seed) const = 0;
+
+  // Helper for default_workload_size overrides: the paper's workload size
+  // times the deployment scale, so load grows with the cluster.
+  int Scaled(int base) const { return base * scale_; }
+
+ private:
+  int scale_ = 1;
 };
 
 }  // namespace ctcore

@@ -10,43 +10,64 @@ Cluster::Cluster(uint64_t seed)
     // The network gets its own stream: fault-plan draws must not shift the
     // workload RNG, or installing a plan would change the run it perturbs.
     : rng_(seed), net_rng_(seed ^ 0x6e65742d666c7400ull) {
-  loop_.SetOwnerAliveCheck([this](const std::string& owner) { return IsAlive(owner); });
-  loop_.SetTraceHook([this](Time at, const std::string& owner) {
+  loop_.SetOwnerAliveCheck([this](NodeId owner) { return IsAlive(owner); });
+  loop_.SetTraceHook([this](Time at, NodeId owner) {
     if (trace_ != nullptr) {
       trace_->Record(at, "timer", owner);
     }
+  });
+  loop_.SetDrainHook([this](Time limit, bool has_limit) {
+    if (in_progress_batches_.empty()) {
+      return false;
+    }
+    DeliveryBatch* batch = in_progress_batches_.back();
+    if (batch->next >= batch->messages.size() || (has_limit && batch->when > limit)) {
+      return false;
+    }
+    DeliverNow(batch->messages[batch->next++]);
+    return true;
   });
 }
 
 Cluster::~Cluster() = default;
 
 void Cluster::RegisterNode(std::unique_ptr<Node> node) {
-  const std::string& id = node->id();
-  CT_CHECK_MSG(nodes_.find(id) == nodes_.end(), "duplicate node id");
+  const NodeId id = node->sym();
+  CT_CHECK_MSG(Find(id) == nullptr, "duplicate node id");
+  if (id.id() >= route_.size()) {
+    route_.resize(id.id() + 1, nullptr);
+  }
+  route_[id.id()] = node.get();
   insertion_order_.push_back(id);
-  nodes_[id] = std::move(node);
+  owned_nodes_.push_back(std::move(node));
 }
 
 Node* Cluster::Find(const std::string& id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : it->second.get();
+  return Find(interner_.Find(id));
 }
 
 std::vector<Node*> Cluster::nodes() const {
   std::vector<Node*> out;
   out.reserve(insertion_order_.size());
-  for (const auto& id : insertion_order_) {
-    out.push_back(nodes_.at(id).get());
+  for (const NodeId id : insertion_order_) {
+    out.push_back(Find(id));
   }
   return out;
 }
 
-std::vector<std::string> Cluster::node_ids() const { return insertion_order_; }
+std::vector<std::string> Cluster::node_ids() const {
+  std::vector<std::string> out;
+  out.reserve(insertion_order_.size());
+  for (const NodeId id : insertion_order_) {
+    out.push_back(id.str());
+  }
+  return out;
+}
 
 std::vector<std::string> Cluster::config_hosts() const {
   std::vector<std::string> hosts;
-  for (const auto& id : insertion_order_) {
-    std::string host = nodes_.at(id)->host();
+  for (const NodeId id : insertion_order_) {
+    std::string host = Find(id)->host();
     if (std::find(hosts.begin(), hosts.end(), host) == hosts.end()) {
       hosts.push_back(host);
     }
@@ -55,10 +76,10 @@ std::vector<std::string> Cluster::config_hosts() const {
 }
 
 void Cluster::StartAll() {
-  for (const auto& id : insertion_order_) {
-    Node* node = nodes_.at(id).get();
+  for (const NodeId id : insertion_order_) {
+    Node* node = Find(id);
     if (node->state() == NodeState::kStopped && !node->defer_start()) {
-      StartNode(id);
+      StartNode(id.str());
     }
   }
 }
@@ -69,8 +90,8 @@ void Cluster::StartNode(const std::string& id) {
     return;
   }
   TraceRecord("start", id);
-  std::string previous = current_node_;
-  current_node_ = id;
+  const NodeId previous = current_node_;
+  current_node_ = node->sym();
   node->Start();
   current_node_ = previous;
 }
@@ -104,10 +125,22 @@ void Cluster::Shutdown(const std::string& id) {
   node->MarkShutdown();
 }
 
+bool Cluster::IsHeartbeatMethod(Symbol method) {
+  if (method.id() >= heartbeat_class_.size()) {
+    heartbeat_class_.resize(interner_.size(), 0);
+  }
+  uint8_t& cls = heartbeat_class_[method.id()];
+  if (cls == 0) {
+    const std::string& name = method.str();
+    cls = (name.find("Heartbeat") != std::string::npos || name == "gossip") ? 1 : 2;
+  }
+  return cls == 1;
+}
+
 void Cluster::Post(Message message) {
   // Heartbeat traffic is tallied at post time, before fault decisions, so the
   // count reflects what the system *tried* to send under faults.
-  if (message.method.find("Heartbeat") != std::string::npos || message.method == "gossip") {
+  if (IsHeartbeatMethod(message.method)) {
     ++heartbeat_messages_;
   }
   // Fault-plan decisions happen here, at schedule time, against the sender's
@@ -115,7 +148,9 @@ void Cluster::Post(Message message) {
   // partition would heal before the link latency elapses.
   if (!partitions_.empty() && LinkCut(message.from, message.to)) {
     ++plan_dropped_messages_;
-    TraceRecord("drop.partition", message.from + ">" + message.to + " " + message.method);
+    if (trace_ != nullptr) {
+      TraceRecord("drop.partition", message.from + ">" + message.to + " " + message.method);
+    }
     return;
   }
   Time delay = latency_ms_;
@@ -123,7 +158,9 @@ void Cluster::Post(Message message) {
     const LinkFault& fault = plan_.LinkFor(message.from, message.to);
     if (fault.drop_probability > 0.0 && net_rng_.Chance(fault.drop_probability)) {
       ++plan_dropped_messages_;
-      TraceRecord("drop.link", message.from + ">" + message.to + " " + message.method);
+      if (trace_ != nullptr) {
+        TraceRecord("drop.link", message.from + ">" + message.to + " " + message.method);
+      }
       return;
     }
     delay += fault.extra_delay_ms;
@@ -141,30 +178,81 @@ void Cluster::Post(Message message) {
         dup_delay += net_rng_.Uniform(0, fault.reorder_window_ms);
       }
       ++duplicated_messages_;
-      TraceRecord("dup", message.from + ">" + message.to + " " + message.method);
+      if (trace_ != nullptr) {
+        TraceRecord("dup", message.from + ">" + message.to + " " + message.method);
+      }
       ScheduleDelivery(message, dup_delay);
     }
   }
   ScheduleDelivery(std::move(message), delay);
 }
 
+void Cluster::Post(const std::string& from, const std::string& to, const std::string& method,
+                   std::vector<std::pair<std::string, std::string>> args) {
+  Message message;
+  message.from = Intern(from);
+  message.to = Intern(to);
+  message.method = Intern(method);
+  for (auto& kv : args) {
+    message.args.Set(Intern(kv.first), std::move(kv.second));
+  }
+  message.sent_at = loop_.Now();
+  Post(std::move(message));
+}
+
 void Cluster::ScheduleDelivery(Message message, Time delay) {
-  loop_.Schedule(delay, [this, message = std::move(message)]() {
-    Node* target = Find(message.to);
-    if (target == nullptr || !target->IsRunning()) {
-      // A duplicate is subject to the same check, so duplication can never
-      // resurrect a message for a node that died before delivery.
-      ++dropped_messages_;
+  const Time when = loop_.Now() + delay;
+  // Coalesce with the open batch when that is provably order-preserving:
+  // same destination, same delivery tick, and nothing else scheduled behind
+  // the batch event (so this message's own event would have been seq-adjacent
+  // to it anyway).
+  if (open_batch_ != nullptr && open_batch_->to == message.to && open_batch_->when == when &&
+      loop_.next_seq() == open_batch_->seq_mark) {
+    open_batch_->messages.push_back(std::move(message));
+    return;
+  }
+  auto batch = std::make_shared<DeliveryBatch>();
+  DeliveryBatch* raw = batch.get();
+  raw->to = message.to;
+  raw->when = when;
+  raw->messages.push_back(std::move(message));
+  loop_.Schedule(delay, [this, batch = std::move(batch)]() { RunBatch(batch.get()); });
+  raw->seq_mark = loop_.next_seq();
+  open_batch_ = raw;
+}
+
+void Cluster::RunBatch(DeliveryBatch* batch) {
+  if (open_batch_ == batch) {
+    open_batch_ = nullptr;  // no appends once delivery has begun
+  }
+  in_progress_batches_.push_back(batch);
+  // A handler that re-enters the loop drains the rest of this batch through
+  // the hook; the cursor is shared, so nothing delivers twice.
+  while (batch->next < batch->messages.size()) {
+    DeliverNow(batch->messages[batch->next++]);
+  }
+  in_progress_batches_.pop_back();
+}
+
+void Cluster::DeliverNow(const Message& message) {
+  Node* target = Find(message.to);
+  if (target == nullptr || !target->IsRunning()) {
+    // A duplicate is subject to the same check, so duplication can never
+    // resurrect a message for a node that died before delivery.
+    ++dropped_messages_;
+    if (trace_ != nullptr) {
       TraceRecord("drop.dead", message.from + ">" + message.to + " " + message.method);
-      return;
     }
-    ++delivered_messages_;
+    return;
+  }
+  ++delivered_messages_;
+  if (trace_ != nullptr) {
     TraceRecord("deliver", message.from + ">" + message.to + " " + message.method);
-    std::string previous = current_node_;
-    current_node_ = message.to;
-    target->Dispatch(message);
-    current_node_ = previous;
-  });
+  }
+  const NodeId previous = current_node_;
+  current_node_ = message.to;
+  target->Dispatch(message);
+  current_node_ = previous;
 }
 
 void Cluster::InstallFaultPlan(FaultPlan plan) {

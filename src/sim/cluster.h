@@ -6,10 +6,14 @@
 // (abrupt kill, like the crash RPC of Fig. 7) and Shutdown (graceful leave
 // via the system's shutdown script, used for pre-read points so the cluster
 // learns about the departure without waiting out the failure detector).
+//
+// The cluster also owns the run's intern table: every node id and RPC method
+// becomes a Symbol at registration/send time, so routing, the alive check,
+// and handler dispatch are integer lookups. Strings survive only at the
+// model/report boundary (logs, traces, reports), byte-identical to before.
 #ifndef SRC_SIM_CLUSTER_H_
 #define SRC_SIM_CLUSTER_H_
 
-#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -21,6 +25,7 @@
 #include "src/sim/fault_plan.h"
 #include "src/sim/message.h"
 #include "src/sim/node.h"
+#include "src/sim/symbol.h"
 #include "src/sim/trace.h"
 
 namespace ctsim {
@@ -36,6 +41,11 @@ class Cluster {
   ctlog::LogStore& logs() { return logs_; }
   ctcommon::Rng& rng() { return rng_; }
 
+  // The run's intern table. Symbols from one cluster must not be mixed with
+  // another cluster's.
+  Symbol Intern(const std::string& text) { return interner_.Intern(text); }
+  InternTable& interner() { return interner_; }
+
   // Constructs and registers a node. T must derive from Node and take
   // (Cluster*, ...) constructor arguments.
   template <typename T, typename... Args>
@@ -47,6 +57,9 @@ class Cluster {
   }
 
   Node* Find(const std::string& id) const;
+  Node* Find(NodeId id) const {
+    return id.id() < route_.size() ? route_[id.id()] : nullptr;
+  }
   std::vector<Node*> nodes() const;
   std::vector<std::string> node_ids() const;
   // Hosts listed in the cluster "configuration file" — what log analysis uses
@@ -59,6 +72,10 @@ class Cluster {
   void StartNode(const std::string& id);
 
   bool IsAlive(const std::string& id) const;
+  bool IsAlive(NodeId id) const {
+    Node* node = Find(id);
+    return node != nullptr && node->IsRunning();
+  }
 
   // Abrupt kill: no notifications; in-flight messages to the node are lost;
   // its timers never fire again.
@@ -69,8 +86,12 @@ class Cluster {
   void Shutdown(const std::string& id);
 
   // Network: schedules delivery after the link latency; messages to nodes
-  // that are dead *at delivery time* are dropped.
+  // that are dead *at delivery time* are dropped. Same-destination messages
+  // posted back-to-back onto the same delivery tick share one loop event.
   void Post(Message message);
+  // Convenience for senders outside any node (workload kick-off scripts).
+  void Post(const std::string& from, const std::string& to, const std::string& method,
+            std::vector<std::pair<std::string, std::string>> args = {});
   Time latency_ms() const { return latency_ms_; }
   void set_latency_ms(Time latency) { latency_ms_ = latency; }
 
@@ -101,7 +122,7 @@ class Cluster {
   // Node whose handler is currently executing ("" between events). The
   // trigger needs this to kill the right process when the crash target is the
   // currently running node.
-  const std::string& current_node() const { return current_node_; }
+  const std::string& current_node() const { return current_node_.str(); }
 
   // Counters for tests and reports. dropped_messages() counts only
   // dead-at-delivery drops; plan-induced drops (link faults and partitions)
@@ -125,20 +146,47 @@ class Cluster {
  private:
   friend class Node;
 
+  // Same-link same-tick messages coalesced into one loop event. The batch is
+  // owned by its delivery closure; open_batch_ is a non-owning view that is
+  // severed the moment the closure starts (or the link/tick changes).
+  struct DeliveryBatch {
+    NodeId to;
+    Time when = 0;
+    uint64_t seq_mark = 0;  // loop seq right after the batch event: appending
+                            // is order-safe only while nothing else was
+                            // scheduled behind the batch
+    size_t next = 0;        // delivery cursor (shared with the drain hook)
+    std::vector<Message> messages;
+  };
+
   void RegisterNode(std::unique_ptr<Node> node);
   void ScheduleDelivery(Message message, Time delay);
+  void RunBatch(DeliveryBatch* batch);
+  void DeliverNow(const Message& message);
   void TraceRecord(const char* kind, std::string detail);
+  bool IsHeartbeatMethod(Symbol method);
 
+  ctcommon::InternTable interner_;
   EventLoop loop_;
   ctlog::LogStore logs_;
   ctcommon::Rng rng_;
   ctcommon::Rng net_rng_;
-  std::map<std::string, std::unique_ptr<Node>> nodes_;
-  std::vector<std::string> insertion_order_;
+  std::vector<std::unique_ptr<Node>> owned_nodes_;
+  std::vector<Node*> route_;  // indexed by NodeId symbol id; nullptr gaps
+  std::vector<NodeId> insertion_order_;
+  // Per-method heartbeat classification, memoized by symbol id
+  // (0 = unknown, 1 = heartbeat-class, 2 = not).
+  std::vector<uint8_t> heartbeat_class_;
+  DeliveryBatch* open_batch_ = nullptr;
+  // Batches whose delivery loop is currently on the call stack (outermost
+  // first). When a handler re-enters the event loop mid-batch, the loop's
+  // drain hook serves the innermost batch's remaining messages before any
+  // queued event, preserving the pre-batching delivery order.
+  std::vector<DeliveryBatch*> in_progress_batches_;
   Time latency_ms_ = 1;
   bool cluster_down_ = false;
   std::string cluster_down_reason_;
-  std::string current_node_;
+  NodeId current_node_;
   FaultPlan plan_;
   bool has_link_faults_ = false;
   // Active partition windows: the plan's timed directives plus any installed

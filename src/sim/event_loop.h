@@ -11,14 +11,35 @@
 // machinery runs before the instrumented read proceeds. In a real deployment
 // other threads run during that wait; here the hook re-enters the loop for
 // the window's worth of events and then returns to the interrupted handler.
+//
+// Storage and ordering are built for scaled campaigns (10⁶+ pending events):
+//
+//  - Events live in a slab of fixed-size chunks; nodes never move, slots are
+//    recycled through a free list, and an EventId encodes (generation, slot)
+//    so Cancel is an O(1) tag set — stale ids (already executed or already
+//    cancelled) are no-ops, exactly like the old tombstone list, minus its
+//    linear scan on every pop.
+//  - Ready ordering is a ladder queue: a wheel of kWheelSize one-millisecond
+//    buckets starting at wheel_base_, each an intrusive FIFO (append keeps
+//    seq order, and a bucket is a single timestamp, so FIFO *is* (when, seq)
+//    order), plus an overflow min-heap for events beyond the wheel horizon.
+//    Inserts and pops are O(1) in the common case; the heap is touched only
+//    when an event is far in the future and once more when the wheel drains
+//    down to it and rebases.
+//  - The (when, seq) total order and the reentrancy contract (RunUntil from
+//    inside a callback) are bit-for-bit those of the original
+//    std::priority_queue loop; goldens and trace hashes do not move.
 #ifndef SRC_SIM_EVENT_LOOP_H_
 #define SRC_SIM_EVENT_LOOP_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
-#include <string>
 #include <vector>
+
+#include "src/sim/symbol.h"
 
 namespace ctsim {
 
@@ -36,21 +57,34 @@ class EventLoop {
   // Schedules `fn` to run `delay` ms from now. If `owner` is non-empty the
   // event is skipped when the owner is no longer alive at fire time (a dead
   // node's timers and in-flight work die with it).
-  EventId Schedule(Time delay, std::function<void()> fn, std::string owner = "");
-  EventId ScheduleAt(Time when, std::function<void()> fn, std::string owner = "");
+  EventId Schedule(Time delay, std::function<void()> fn, NodeId owner = NodeId());
+  EventId ScheduleAt(Time when, std::function<void()> fn, NodeId owner = NodeId());
 
+  // O(1). Ids of events that already ran (or were already cancelled) are
+  // no-ops: the slot's generation was bumped when it was recycled.
   void Cancel(EventId id);
 
   // Installed by the cluster; decides whether `owner` is still alive.
-  void SetOwnerAliveCheck(std::function<bool(const std::string&)> check) {
+  void SetOwnerAliveCheck(std::function<bool(NodeId)> check) {
     alive_check_ = std::move(check);
   }
 
   // Installed by the cluster; called just before an *owned* event fires
   // (node timers — deliveries are ownerless and traced by the cluster with
   // richer detail). Used for trace record/replay.
-  void SetTraceHook(std::function<void(Time, const std::string&)> hook) {
+  void SetTraceHook(std::function<void(Time, NodeId)> hook) {
     trace_hook_ = std::move(hook);
+  }
+
+  // Installed by the cluster. Consulted before every pop: if the hook has
+  // out-of-queue work due at or before `limit` (when bounded), it performs
+  // one unit and returns true, and the loop counts that as the iteration's
+  // event. This is how a partially delivered message batch stays ahead of
+  // queued events when a handler re-enters the loop mid-batch — the
+  // remaining batch members are seq-adjacent to the executing event, so
+  // they are by construction next in the (when, seq) total order.
+  void SetDrainHook(std::function<bool(Time, bool)> hook) {
+    drain_hook_ = std::move(hook);
   }
 
   // Runs a single event if one is pending; advances the clock to it.
@@ -65,21 +99,46 @@ class EventLoop {
   void RunUntil(Time when);
   void RunFor(Time duration) { RunUntil(Now() + duration); }
 
-  // Diagnostics.
+  // Diagnostics / scheduler counters.
   uint64_t executed_events() const { return executed_events_; }
   uint64_t skipped_dead_owner_events() const { return skipped_dead_owner_events_; }
-  size_t pending_events() const;
+  // Live (scheduled, not yet executed, not cancelled) events only.
+  size_t pending_events() const { return live_events_; }
+  uint64_t scheduled_events() const { return scheduled_events_; }
+  uint64_t cancelled_events() const { return cancelled_events_; }
+  size_t peak_pending_events() const { return peak_pending_; }
+  // Sequence number the next scheduled event will receive. Lets the cluster
+  // detect "nothing was scheduled in between" when batching deliveries.
+  uint64_t next_seq() const { return next_seq_; }
 
  private:
-  struct Event {
+  static constexpr uint32_t kNil = 0xffffffffu;
+  static constexpr uint32_t kWheelSize = 4096;  // 1ms buckets => ~4s horizon
+  static constexpr uint32_t kWheelWords = kWheelSize / 64;
+  static constexpr uint32_t kChunkShift = 8;
+  static constexpr uint32_t kChunkNodes = 1u << kChunkShift;
+  static constexpr uint32_t kChunkMask = kChunkNodes - 1;
+
+  struct EventNode {
     Time when = 0;
     uint64_t seq = 0;
-    EventId id = 0;
-    std::string owner;
+    uint32_t gen = 0;    // bumped when the slot is recycled; validates ids
+    uint32_t next = kNil;  // bucket chain when queued, free list when free
+    bool cancelled = false;
+    NodeId owner;
     std::function<void()> fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+  struct Bucket {
+    uint32_t head = kNil;
+    uint32_t tail = kNil;
+  };
+  struct FarEntry {
+    Time when = 0;
+    uint64_t seq = 0;
+    uint32_t slot = kNil;
+  };
+  struct FarLater {
+    bool operator()(const FarEntry& a, const FarEntry& b) const {
       if (a.when != b.when) {
         return a.when > b.when;
       }
@@ -87,17 +146,44 @@ class EventLoop {
     }
   };
 
+  EventNode& NodeAt(uint32_t slot) { return chunks_[slot >> kChunkShift][slot & kChunkMask]; }
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t slot);
+  void PushBucket(uint32_t bucket, uint32_t slot);
+  uint32_t PopBucketHead(uint32_t bucket);
+  void InsertNode(uint32_t slot);
+  void RebaseAndDrain(Time new_base);
+  void PurgeDeadStorage();
   bool PopAndRun(Time limit, bool has_limit);
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<EventId> cancelled_;
+  // Slab.
+  std::vector<std::unique_ptr<EventNode[]>> chunks_;
+  uint32_t free_head_ = kNil;
+  uint32_t slot_capacity_ = 0;
+
+  // Ladder: wheel over [wheel_base_, wheel_base_ + kWheelSize) plus the far
+  // heap for everything at or beyond the horizon. Invariants: buckets before
+  // now_ are empty whenever user code runs, and every far entry satisfies
+  // when >= wheel_base_ + kWheelSize, so a wheel candidate always precedes
+  // every far event.
+  std::array<Bucket, kWheelSize> wheel_{};
+  std::array<uint64_t, kWheelWords> occupied_{};
+  Time wheel_base_ = 0;
+  uint32_t wheel_count_ = 0;  // nodes linked into buckets (incl. cancelled)
+  uint32_t scan_word_hint_ = 0;  // no occupied bucket in words before this
+  std::priority_queue<FarEntry, std::vector<FarEntry>, FarLater> far_;
+
   Time now_ = 0;
   uint64_t next_seq_ = 0;
-  uint64_t next_id_ = 1;
+  size_t live_events_ = 0;
+  size_t peak_pending_ = 0;
+  uint64_t scheduled_events_ = 0;
+  uint64_t cancelled_events_ = 0;
   uint64_t executed_events_ = 0;
   uint64_t skipped_dead_owner_events_ = 0;
-  std::function<bool(const std::string&)> alive_check_;
-  std::function<void(Time, const std::string&)> trace_hook_;
+  std::function<bool(NodeId)> alive_check_;
+  std::function<void(Time, NodeId)> trace_hook_;
+  std::function<bool(Time, bool)> drain_hook_;
 };
 
 }  // namespace ctsim

@@ -1,5 +1,7 @@
 #include "src/sim/failure_detector.h"
 
+#include <algorithm>
+
 #include "src/sim/cluster.h"
 
 namespace ctsim {
@@ -8,42 +10,63 @@ void FailureDetector::Start() {
   owner_->Every(check_period_ms_, [this] { Sweep(); });
 }
 
-void FailureDetector::Heartbeat(const std::string& node_id) {
-  last_heartbeat_[node_id] = owner_->cluster().loop().Now();
+NodeId FailureDetector::Lookup(const std::string& node_id) const {
+  // Non-creating: a never-interned id cannot be tracked.
+  return owner_->cluster().interner().Find(node_id);
 }
 
-void FailureDetector::Forget(const std::string& node_id) { last_heartbeat_.erase(node_id); }
+void FailureDetector::Heartbeat(NodeId node_id) {
+  last_heartbeat_[node_id.id()] = Entry{node_id, owner_->cluster().loop().Now()};
+}
 
-void FailureDetector::NotifyLeft(const std::string& node_id) {
-  if (last_heartbeat_.erase(node_id) > 0) {
+void FailureDetector::Heartbeat(const std::string& node_id) {
+  Heartbeat(owner_->cluster().Intern(node_id));
+}
+
+void FailureDetector::Forget(NodeId node_id) { last_heartbeat_.erase(node_id.id()); }
+
+void FailureDetector::Forget(const std::string& node_id) { Forget(Lookup(node_id)); }
+
+void FailureDetector::NotifyLeft(NodeId node_id) {
+  if (last_heartbeat_.erase(node_id.id()) > 0) {
     ++lost_count_;
     on_lost_(node_id);
   }
 }
 
+void FailureDetector::NotifyLeft(const std::string& node_id) { NotifyLeft(Lookup(node_id)); }
+
+bool FailureDetector::IsTracked(NodeId node_id) const {
+  return last_heartbeat_.count(node_id.id()) > 0;
+}
+
 bool FailureDetector::IsTracked(const std::string& node_id) const {
-  return last_heartbeat_.count(node_id) > 0;
+  return IsTracked(Lookup(node_id));
 }
 
 std::vector<std::string> FailureDetector::tracked() const {
   std::vector<std::string> out;
   out.reserve(last_heartbeat_.size());
-  for (const auto& [id, _] : last_heartbeat_) {
-    out.push_back(id);
+  for (const auto& [_, entry] : last_heartbeat_) {
+    out.push_back(entry.id.str());
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 void FailureDetector::Sweep() {
   Time now = owner_->cluster().loop().Now();
-  std::vector<std::string> lost;
-  for (const auto& [id, last] : last_heartbeat_) {
-    if (now - last > timeout_ms_) {
-      lost.push_back(id);
+  std::vector<NodeId> lost;
+  for (const auto& [_, entry] : last_heartbeat_) {
+    if (now - entry.last > timeout_ms_) {
+      lost.push_back(entry.id);
     }
   }
-  for (const auto& id : lost) {
-    last_heartbeat_.erase(id);
+  // Declare losses in string order — the iteration order of the ordered map
+  // this detector used to keep, so recovery callbacks fire identically.
+  std::sort(lost.begin(), lost.end());
+  for (const NodeId id : lost) {
+    last_heartbeat_.erase(id.id());
     ++lost_count_;
     on_lost_(id);
   }

@@ -6,16 +6,22 @@
 // bypass the timeout by calling NotifyLeft directly from the worker's
 // unregister RPC — the same effect as the paper's use of shutdown scripts to
 // "let the node leave the cluster pro-actively, without waiting".
+//
+// Peers are tracked by interned NodeId (integer map operations on the
+// heartbeat hot path); everywhere ordering is observable — the sweep's
+// on_lost firing order, tracked() — ids are sorted by their string form,
+// matching the std::map<std::string, ...> this replaced byte for byte.
 #ifndef SRC_SIM_FAILURE_DETECTOR_H_
 #define SRC_SIM_FAILURE_DETECTOR_H_
 
 #include <functional>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/sim/event_loop.h"
 #include "src/sim/node.h"
+#include "src/sim/symbol.h"
 
 namespace ctsim {
 
@@ -34,27 +40,37 @@ class FailureDetector {
   void Start();
 
   // Registers or refreshes a tracked node.
+  void Heartbeat(NodeId node_id);
   void Heartbeat(const std::string& node_id);
 
   // Stops tracking without firing on_lost (node deregistered cleanly and the
   // caller already ran its leave path).
+  void Forget(NodeId node_id);
   void Forget(const std::string& node_id);
 
   // Graceful-leave fast path: fires on_lost immediately.
+  void NotifyLeft(NodeId node_id);
   void NotifyLeft(const std::string& node_id);
 
+  bool IsTracked(NodeId node_id) const;
   bool IsTracked(const std::string& node_id) const;
   std::vector<std::string> tracked() const;
   int lost_count() const { return lost_count_; }
 
  private:
+  struct Entry {
+    NodeId id;
+    Time last = 0;
+  };
+
   void Sweep();
+  NodeId Lookup(const std::string& node_id) const;
 
   Node* owner_;
   Time timeout_ms_;
   Time check_period_ms_;
   std::function<void(const std::string&)> on_lost_;
-  std::map<std::string, Time> last_heartbeat_;
+  std::unordered_map<uint32_t, Entry> last_heartbeat_;
   int lost_count_ = 0;
 };
 

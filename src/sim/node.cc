@@ -20,6 +20,7 @@ const char* NodeStateName(NodeState state) {
 }
 
 Node::Node(Cluster* cluster, std::string id) : cluster_(cluster), id_(std::move(id)) {
+  sym_ = cluster_->Intern(id_);
   logger_ = std::make_unique<ctlog::Logger>(&cluster_->logs(), id_,
                                             [this] { return cluster_->loop().Now(); });
 }
@@ -45,7 +46,7 @@ void Node::Dispatch(const Message& message) {
   if (!IsRunning()) {
     return;
   }
-  auto it = handlers_.find(message.method);
+  auto it = handlers_.find(message.method.id());
   if (it == handlers_.end()) {
     log().Warn("No handler for RPC {}", {message.method}, "Node.dispatch");
     return;
@@ -56,11 +57,11 @@ void Node::Dispatch(const Message& message) {
 void Node::RunGuarded(const std::string& context, const std::function<void()>& fn) {
   // Timer and async events execute in this node's context; the trigger reads
   // cluster().current_node() to know which process a hook fired on.
-  std::string previous = cluster_->current_node_;
-  cluster_->current_node_ = id_;
+  const NodeId previous = cluster_->current_node_;
+  cluster_->current_node_ = sym_;
   struct Restore {
     Cluster* cluster;
-    std::string previous;
+    NodeId previous;
     ~Restore() { cluster->current_node_ = previous; }
   } restore{cluster_, previous};
   try {
@@ -75,23 +76,28 @@ void Node::RunGuarded(const std::string& context, const std::function<void()>& f
 }
 
 void Node::Handle(const std::string& method, std::function<void(const Message&)> handler) {
-  handlers_[method] = std::move(handler);
+  handlers_[cluster_->Intern(method).id()] = std::move(handler);
 }
 
-void Node::Send(const std::string& to, const std::string& method,
-                std::map<std::string, std::string> args) {
+void Node::Send(const std::string& to, const std::string& method, KvList args) {
+  Send(cluster_->Intern(to), method, std::move(args));
+}
+
+void Node::Send(NodeId to, const std::string& method, KvList args) {
   Message message;
-  message.from = id_;
+  message.from = sym_;
   message.to = to;
-  message.method = method;
-  message.args = std::move(args);
+  message.method = cluster_->Intern(method);
+  for (auto& kv : args) {
+    message.args.Set(cluster_->Intern(kv.first), std::move(kv.second));
+  }
   message.sent_at = cluster_->loop().Now();
   cluster_->Post(std::move(message));
 }
 
 void Node::After(Time delay, std::function<void()> fn) {
   cluster_->loop().Schedule(
-      delay, [this, fn = std::move(fn)] { RunGuarded("timer", fn); }, id_);
+      delay, [this, fn = std::move(fn)] { RunGuarded("timer", fn); }, sym_);
 }
 
 void Node::Every(Time period, std::function<void()> fn) {
@@ -103,7 +109,7 @@ void Node::Every(Time period, std::function<void()> fn) {
       Every(period, *shared);
     }
   };
-  cluster_->loop().Schedule(period, std::move(tick), id_);
+  cluster_->loop().Schedule(period, std::move(tick), sym_);
 }
 
 void Node::OnHandlerException(const std::string& context, const SimException& e) {

@@ -11,15 +11,17 @@
 #define SRC_SIM_NODE_H_
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/logging/log_store.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/exception.h"
 #include "src/sim/message.h"
+#include "src/sim/symbol.h"
 
 namespace ctsim {
 
@@ -29,6 +31,9 @@ enum class NodeState { kStopped, kRunning, kCrashed, kShutdown };
 
 const char* NodeStateName(NodeState state);
 
+// Payload fields for Send; brace-init lists of {"key", "value"} pairs.
+using KvList = std::vector<std::pair<std::string, std::string>>;
+
 class Node {
  public:
   Node(Cluster* cluster, std::string id);
@@ -37,6 +42,8 @@ class Node {
   Node& operator=(const Node&) = delete;
 
   const std::string& id() const { return id_; }
+  // Interned identity within the owning cluster.
+  NodeId sym() const { return sym_; }
   // Host part of "host:port".
   std::string host() const;
   NodeState state() const { return state_; }
@@ -63,8 +70,8 @@ class Node {
   void Handle(const std::string& method, std::function<void(const Message&)> handler);
 
   // Sends an RPC to another node via the cluster network.
-  void Send(const std::string& to, const std::string& method,
-            std::map<std::string, std::string> args = {});
+  void Send(const std::string& to, const std::string& method, KvList args = {});
+  void Send(NodeId to, const std::string& method, KvList args = {});
 
   // Timers owned by this node; they do not fire once the node is dead.
   void After(Time delay, std::function<void()> fn);
@@ -110,13 +117,15 @@ class Node {
 
   Cluster* cluster_;
   std::string id_;
+  NodeId sym_;
   NodeState state_ = NodeState::kStopped;
   bool aborted_ = false;
   bool defer_start_ = false;
   bool workload_driver_ = false;
   bool critical_ = false;
   std::unique_ptr<ctlog::Logger> logger_;
-  std::map<std::string, std::function<void(const Message&)>> handlers_;
+  // Keyed by interned method id: dispatch is one integer hash away.
+  std::unordered_map<uint32_t, std::function<void(const Message&)>> handlers_;
 };
 
 }  // namespace ctsim

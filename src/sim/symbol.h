@@ -1,0 +1,21 @@
+// Simulator-facing aliases for the interning layer.
+//
+// A NodeId names a node ("node1:42349"); a Symbol names any other interned
+// identity (RPC methods, payload keys). Both are the same 4-byte token type;
+// the distinct names document intent at call sites.
+#ifndef SRC_SIM_SYMBOL_H_
+#define SRC_SIM_SYMBOL_H_
+
+#include "src/common/interner.h"
+
+namespace ctsim {
+
+using Symbol = ctcommon::Symbol;
+using NodeId = ctcommon::Symbol;
+using ctcommon::InternTable;
+using ctcommon::SymbolIdEq;
+using ctcommon::SymbolIdHash;
+
+}  // namespace ctsim
+
+#endif  // SRC_SIM_SYMBOL_H_

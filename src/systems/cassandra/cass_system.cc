@@ -9,9 +9,12 @@ namespace {
 class CassRun : public ctcore::WorkloadRun {
  public:
   CassRun(const CassSystem* system, int workload_size, uint64_t seed)
-      : system_(system), workload_size_(workload_size), cluster_(seed) {
+      : system_(system), workload_size_(workload_size), config_(system->config()),
+        cluster_(seed) {
+    // The run owns a scaled copy of the config; nodes point at it.
+    config_.num_nodes *= system_->scale();
     const CassArtifacts* artifacts = &GetCassArtifacts();
-    const CassConfig* config = &system_->config();
+    const CassConfig* config = &config_;
     std::vector<std::string> members;
     for (int i = 1; i <= config->num_nodes; ++i) {
       members.push_back("cass" + std::to_string(i) + ":7000");
@@ -29,13 +32,13 @@ class CassRun : public ctcore::WorkloadRun {
   bool JobFinished() const override { return job_.done; }
   bool JobFailed() const override { return job_.failed; }
   ctsim::Time ExpectedDurationMs() const override {
-    return 2500 + static_cast<ctsim::Time>(workload_size_) * 5 *
-                      (system_->config().client_pacing_ms + 60);
+    return 2500 + static_cast<ctsim::Time>(workload_size_) * 5 * (config_.client_pacing_ms + 60);
   }
 
  private:
   const CassSystem* system_;
   int workload_size_;
+  CassConfig config_;  // scaled copy; nodes point at this
   ctsim::Cluster cluster_;
   CassJobState job_;
   CassClient* client_ = nullptr;

@@ -19,7 +19,7 @@ class CassSystem : public ctcore::SystemUnderTest {
   std::string version() const override { return "3.11.4"; }
   std::string workload_name() const override { return "Stress"; }
   const ctmodel::ProgramModel& model() const override { return GetCassArtifacts().model; }
-  int default_workload_size() const override { return 4; }
+  int default_workload_size() const override { return Scaled(4); }
   std::vector<ctcore::KnownBug> known_bugs() const override {
     return {
         // The message race first, so a network-fault injection that both

@@ -9,9 +9,13 @@ namespace {
 class HBaseRun : public ctcore::WorkloadRun {
  public:
   HBaseRun(const HBaseSystem* system, int workload_size, uint64_t seed)
-      : system_(system), cluster_(seed) {
+      : system_(system), config_(system->config()), cluster_(seed) {
+    // The run owns a scaled copy of the config; nodes point at it. Regions
+    // scale with the servers so per-server load stays constant.
+    config_.num_regionservers *= system_->scale();
+    config_.num_regions *= system_->scale();
     const HBaseArtifacts* artifacts = &GetHBaseArtifacts();
-    const HBaseConfig* config = &system_->config();
+    const HBaseConfig* config = &config_;
     master_ = cluster_.AddNode<HMaster>("hmaster:16000", artifacts, config, &job_);
     cluster_.AddNode<ZkQuorum>("zkquorum:2181", std::string("hmaster:16000"), artifacts, config);
     for (int i = 1; i <= config->num_regionservers; ++i) {
@@ -31,15 +35,21 @@ class HBaseRun : public ctcore::WorkloadRun {
   ctsim::Cluster& cluster() override { return cluster_; }
   void Start() override {
     client_->StartWorkload();
-    cluster_.loop().Schedule(system_->config().late_join_ms,
-                             [this] { cluster_.StartNode(late_joiner_); });
+    cluster_.loop().Schedule(config_.late_join_ms, [this] { cluster_.StartNode(late_joiner_); });
   }
   bool JobFinished() const override { return job_.done; }
   bool JobFailed() const override { return job_.failed; }
-  ctsim::Time ExpectedDurationMs() const override { return 16000; }
+  ctsim::Time ExpectedDurationMs() const override {
+    // The PE client's op count scales with the deployment (workload size is
+    // Scaled and each unit is 4 ops at 400ms pacing), so the deadline grows
+    // per scale step; at scale 1 it is the paper's fixed 16s for every
+    // workload size, keeping profiler deadlines unchanged.
+    return 16000 + static_cast<ctsim::Time>(system_->scale() - 1) * 12000;
+  }
 
  private:
   const HBaseSystem* system_;
+  HBaseConfig config_;  // scaled copy; nodes point at this
   ctsim::Cluster cluster_;
   HBaseJobState job_;
   HMaster* master_ = nullptr;

@@ -19,7 +19,7 @@ class HBaseSystem : public ctcore::SystemUnderTest {
   std::string version() const override { return "3.0.0-SNAPSHOT"; }
   std::string workload_name() const override { return "PE+curl"; }
   const ctmodel::ProgramModel& model() const override { return GetHBaseArtifacts().model; }
-  int default_workload_size() const override { return 3; }
+  int default_workload_size() const override { return Scaled(3); }
   std::vector<ctcore::KnownBug> known_bugs() const override;
 
   const HBaseConfig& config() const { return config_; }

@@ -9,9 +9,12 @@ namespace {
 class HdfsRun : public ctcore::WorkloadRun {
  public:
   HdfsRun(const HdfsSystem* system, int workload_size, uint64_t seed)
-      : system_(system), workload_size_(workload_size), cluster_(seed) {
+      : system_(system), workload_size_(workload_size), config_(system->config()),
+        cluster_(seed) {
+    // The run owns a scaled copy of the config; nodes point at it.
+    config_.num_datanodes *= system_->scale();
     const HdfsArtifacts* artifacts = &GetHdfsArtifacts();
-    const HdfsConfig* config = &system_->config();
+    const HdfsConfig* config = &config_;
     journal_ = std::make_unique<Journal>();
     active_ = cluster_.AddNode<NameNode>("namenode1:9000", std::string("namenode2:9000"),
                                          /*active=*/true, artifacts, config, journal_.get());
@@ -37,6 +40,7 @@ class HdfsRun : public ctcore::WorkloadRun {
  private:
   const HdfsSystem* system_;
   int workload_size_;
+  HdfsConfig config_;  // scaled copy; nodes point at this
   ctsim::Cluster cluster_;
   std::unique_ptr<Journal> journal_;
   HdfsJobState job_;

@@ -19,7 +19,7 @@ class HdfsSystem : public ctcore::SystemUnderTest {
   std::string version() const override { return "3.3.0-SNAPSHOT"; }
   std::string workload_name() const override { return "TestDFSIO+curl"; }
   const ctmodel::ProgramModel& model() const override { return GetHdfsArtifacts().model; }
-  int default_workload_size() const override { return 2; }
+  int default_workload_size() const override { return Scaled(2); }
   std::vector<ctcore::KnownBug> known_bugs() const override;
 
   const HdfsConfig& config() const { return config_; }

@@ -10,9 +10,13 @@ namespace {
 class YarnRun : public ctcore::WorkloadRun {
  public:
   YarnRun(const YarnSystem* system, int workload_size, uint64_t seed)
-      : system_(system), workload_size_(workload_size), cluster_(seed) {
+      : system_(system), workload_size_(workload_size), config_(system->config()),
+        cluster_(seed) {
+    // Nodes hold a pointer to the run's own scaled copy of the config, so a
+    // scaled deployment never mutates the (shared, const) system object.
+    config_.num_workers *= system_->scale();
     const YarnArtifacts* artifacts = &GetYarnArtifacts(system_->mode());
-    const YarnConfig* config = &system_->config();
+    const YarnConfig* config = &config_;
     rm_ = cluster_.AddNode<ResourceManager>("master:8030", artifacts, config, &job_);
     for (int i = 1; i <= config->num_workers; ++i) {
       std::string id = "node" + std::to_string(i) + ":42349";
@@ -26,39 +30,28 @@ class YarnRun : public ctcore::WorkloadRun {
   void Start() override {
     // Client submits the WordCount job shortly after startup.
     cluster_.loop().Schedule(100, [this] {
-      ctsim::Message submit;
-      submit.from = "client";
-      submit.to = rm_->id();
-      submit.method = "submitApplication";
-      submit.args["tasks"] = std::to_string(workload_size_);
-      cluster_.Post(submit);
+      cluster_.Post("client", rm_->id(), "submitApplication",
+                    {{"tasks", std::to_string(workload_size_)}});
     });
     // The "+curl" part of the workload: user queries via the web interface,
     // once the job is up and running.
     cluster_.loop().Schedule(20000, [this] {
-      ctsim::Message status;
-      status.from = "client";
-      status.to = rm_->id();
-      status.method = "getClusterStatus";
-      cluster_.Post(status);
-      ctsim::Message report;
-      report.from = "client";
-      report.to = rm_->id();
-      report.method = "getNodeReport";
-      report.args["node"] = workers_.front()->id();
-      cluster_.Post(report);
+      cluster_.Post("client", rm_->id(), "getClusterStatus");
+      cluster_.Post("client", rm_->id(), "getNodeReport",
+                    {{"node", workers_.front()->id()}});
     });
   }
 
   bool JobFinished() const override { return job_.done; }
   bool JobFailed() const override { return job_.failed; }
   ctsim::Time ExpectedDurationMs() const override {
-    return 13000 + system_->config().am_init_ms + static_cast<ctsim::Time>(workload_size_) * 200;
+    return 13000 + config_.am_init_ms + static_cast<ctsim::Time>(workload_size_) * 200;
   }
 
  private:
   const YarnSystem* system_;
   int workload_size_;
+  YarnConfig config_;  // scaled copy; nodes point at this
   ctsim::Cluster cluster_;
   JobState job_;
   ResourceManager* rm_ = nullptr;

@@ -22,7 +22,7 @@ class YarnSystem : public ctcore::SystemUnderTest {
   }
   std::string workload_name() const override { return "WordCount+curl"; }
   const ctmodel::ProgramModel& model() const override;
-  int default_workload_size() const override { return 3; }
+  int default_workload_size() const override { return Scaled(3); }
   std::vector<ctcore::KnownBug> known_bugs() const override;
 
   YarnMode mode() const { return mode_; }

@@ -9,9 +9,13 @@ namespace {
 class ZkRun : public ctcore::WorkloadRun {
  public:
   ZkRun(const ZkSystem* system, int workload_size, uint64_t seed)
-      : system_(system), workload_size_(workload_size), cluster_(seed) {
+      : system_(system), workload_size_(workload_size), config_(system->config()),
+        cluster_(seed) {
+    // The run owns a scaled copy of the config; peers point at it. The
+    // ensemble stays an odd-or-even majority quorum at any size.
+    config_.num_peers *= system_->scale();
     const ZkArtifacts* artifacts = &GetZkArtifacts();
-    const ZkConfig* config = &system_->config();
+    const ZkConfig* config = &config_;
     shared_ = std::make_unique<QuorumShared>();
     std::vector<std::string> peers;
     for (int i = 1; i <= config->num_peers; ++i) {
@@ -36,6 +40,7 @@ class ZkRun : public ctcore::WorkloadRun {
  private:
   const ZkSystem* system_;
   int workload_size_;
+  ZkConfig config_;  // scaled copy; peers point at this
   ctsim::Cluster cluster_;
   std::unique_ptr<QuorumShared> shared_;
   ZkJobState job_;

@@ -19,7 +19,7 @@ class ZkSystem : public ctcore::SystemUnderTest {
   std::string version() const override { return "3.5.4-beta"; }
   std::string workload_name() const override { return "SmokeTest+curl"; }
   const ctmodel::ProgramModel& model() const override { return GetZkArtifacts().model; }
-  int default_workload_size() const override { return 4; }
+  int default_workload_size() const override { return Scaled(4); }
   // The paper's crash campaign found no new ZooKeeper bugs and neither does
   // ours — the only entry is the seeded message race, reachable exclusively
   // by network-fault mode (a partitioned peer rejoining after its quorum

@@ -147,6 +147,30 @@ TEST(ParallelDeterminism, YarnReportIdenticalAtJobs1AndJobs4) {
   EXPECT_EQ(ctcore::ReportToJson(seq), ctcore::ReportToJson(par));
 }
 
+TEST(ScaleDeterminism, YarnReportIdenticalAtJobs1AndJobs4AtScale8) {
+  // The --scale knob multiplies the deployment (workers, tasks) but must not
+  // cost determinism: the scaled campaign serializes byte-identically at any
+  // worker count.
+  ctyarn::YarnSystem yarn;
+  yarn.set_scale(8);
+  ASSERT_EQ(yarn.scale(), 8);
+  ASSERT_EQ(yarn.default_workload_size(), 24);
+  ctcore::CrashTunerDriver driver;
+
+  ctcore::DriverOptions sequential;
+  sequential.jobs = 1;
+  ctcore::SystemReport seq = driver.Run(yarn, sequential);
+
+  ctcore::DriverOptions parallel;
+  parallel.jobs = 4;
+  ctcore::SystemReport par = driver.Run(yarn, parallel);
+
+  EXPECT_EQ(seq.trace_hash, par.trace_hash);
+  seq.analysis_wall_seconds = par.analysis_wall_seconds = 0;
+  seq.test_wall_seconds = par.test_wall_seconds = 0;
+  EXPECT_EQ(ctcore::ReportToJson(seq), ctcore::ReportToJson(par));
+}
+
 TEST(ParallelDeterminism, ObservationIsPassiveAndSnapshotDeterministic) {
   ctyarn::YarnSystem yarn;
   ctcore::CrashTunerDriver driver;

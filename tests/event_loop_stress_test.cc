@@ -1,0 +1,370 @@
+// Stress and property tests for the ladder-queue/slab event loop.
+//
+// The scheduler rewrite (interned owners, slab-allocated event nodes, wheel +
+// far-heap ordering, O(1) cancel) must be observationally identical to the
+// original std::priority_queue loop. SpecLoop below is that original
+// ordering *specification* — a (when, seq) min-heap with lazy cancellation —
+// reduced to its semantics (tokens instead of closures). The differential
+// test drives both through the same million-operation script of mixed
+// Schedule / ScheduleAt / Cancel / RunUntil and requires identical execution
+// sequences and identical live-event accounting at every checkpoint.
+//
+// Also covered: same-tick FIFO ordering, nested RunUntil reentrancy with
+// scheduling and cancellation from inside handlers, dead-owner skips at
+// scale, the zero-copy guarantee for scheduled closures (the old loop copied
+// every event out of priority_queue::top()), and exact pending_events()
+// accounting across cancels (the old loop counted tombstones as pending).
+#include "src/sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ctsim {
+namespace {
+
+// The original loop's ordering semantics, as a token machine: events execute
+// in (when, seq) order, cancellation is by id and no-ops once the event has
+// fired, RunUntil(limit) runs everything with when <= limit then parks the
+// clock at limit.
+class SpecLoop {
+ public:
+  int Schedule(Time delay, int token) { return ScheduleAt(now_ + delay, token); }
+
+  int ScheduleAt(Time when, int token) {
+    const int id = static_cast<int>(events_.size());
+    events_.push_back({when, next_seq_++, token, false, false});
+    heap_.push({when, events_.back().seq, id});
+    ++live_;
+    return id;
+  }
+
+  // Returns true if the cancel landed (event existed, unfired, uncancelled).
+  bool Cancel(int id) {
+    Ev& ev = events_[static_cast<size_t>(id)];
+    if (ev.fired || ev.cancelled) {
+      return false;
+    }
+    ev.cancelled = true;
+    --live_;
+    return true;
+  }
+
+  void RunUntil(Time limit, std::vector<int>* out) {
+    Drain(limit, /*has_limit=*/true, out);
+    now_ = std::max(now_, limit);
+  }
+
+  void RunToCompletion(std::vector<int>* out) { Drain(0, /*has_limit=*/false, out); }
+
+  Time Now() const { return now_; }
+  size_t live() const { return live_; }
+
+ private:
+  struct Ev {
+    Time when;
+    uint64_t seq;
+    int token;
+    bool cancelled;
+    bool fired;
+  };
+  struct Entry {
+    Time when;
+    uint64_t seq;
+    int id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void Drain(Time limit, bool has_limit, std::vector<int>* out) {
+    while (!heap_.empty()) {
+      const Entry top = heap_.top();
+      if (has_limit && top.when > limit) {
+        return;
+      }
+      heap_.pop();
+      Ev& ev = events_[static_cast<size_t>(top.id)];
+      if (ev.cancelled) {
+        continue;
+      }
+      now_ = std::max(now_, ev.when);
+      ev.fired = true;
+      --live_;
+      out->push_back(ev.token);
+    }
+  }
+
+  std::vector<Ev> events_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  size_t live_ = 0;
+};
+
+uint32_t NextRand(uint64_t* state) {
+  *state = *state * 6364136223846793005ull + 1442695040888963407ull;
+  return static_cast<uint32_t>(*state >> 33);
+}
+
+// Delay distribution chosen to exercise every queue region: mostly inside
+// the 4096ms wheel, a fat band beyond it (far heap + rebase churn), and a
+// thin tail far enough out to survive many rebases.
+Time RandomDelay(uint64_t* state) {
+  const uint32_t pick = NextRand(state) % 100;
+  if (pick < 60) {
+    return NextRand(state) % 3000;
+  }
+  if (pick < 90) {
+    return 3000 + NextRand(state) % 17000;
+  }
+  return 20000 + NextRand(state) % (1u << 20);
+}
+
+TEST(EventLoopStress, MillionEventDifferentialAgainstOrderingSpec) {
+  constexpr int kOps = 1'300'000;  // ~80% schedules => >1M scheduled events
+  constexpr int kCheckpointEvery = 50'000;
+
+  EventLoop loop;
+  SpecLoop spec;
+  std::vector<int> loop_executed;
+  std::vector<int> spec_executed;
+  loop_executed.reserve(kOps);
+  spec_executed.reserve(kOps);
+
+  // Per scheduled token: the real loop's id (for cancels).
+  std::vector<EventId> real_ids;
+  real_ids.reserve(kOps);
+  uint64_t rng = 0x0dd5eed0f00dull;
+
+  int scheduled = 0;
+  int cancels_landed = 0;
+  for (int op = 0; op < kOps; ++op) {
+    const uint32_t pick = NextRand(&rng) % 100;
+    if (pick < 70 || real_ids.empty()) {
+      const Time delay = RandomDelay(&rng);
+      const int token = scheduled++;
+      real_ids.push_back(loop.Schedule(delay, [&loop_executed, token] {
+        loop_executed.push_back(token);
+      }));
+      spec.ScheduleAt(spec.Now() + delay, token);
+    } else if (pick < 80) {
+      const Time when = loop.Now() + RandomDelay(&rng);
+      const int token = scheduled++;
+      real_ids.push_back(loop.ScheduleAt(when, [&loop_executed, token] {
+        loop_executed.push_back(token);
+      }));
+      spec.ScheduleAt(when, token);
+    } else {
+      // Cancel any earlier token — possibly already fired or already
+      // cancelled; both machines must agree it is then a no-op.
+      const int target = static_cast<int>(NextRand(&rng) % real_ids.size());
+      loop.Cancel(real_ids[static_cast<size_t>(target)]);
+      cancels_landed += spec.Cancel(target) ? 1 : 0;
+    }
+    if ((op + 1) % kCheckpointEvery == 0) {
+      const Time limit = loop.Now() + 1 + NextRand(&rng) % 8000;
+      loop.RunUntil(limit);
+      spec.RunUntil(limit, &spec_executed);
+      ASSERT_EQ(loop.Now(), spec.Now()) << "clock diverged at op " << op;
+      ASSERT_EQ(loop_executed.size(), spec_executed.size()) << "at op " << op;
+      ASSERT_EQ(loop.pending_events(), spec.live()) << "live accounting at op " << op;
+    }
+  }
+  loop.RunToCompletion();
+  spec.RunToCompletion(&spec_executed);
+
+  ASSERT_GE(scheduled, 1'000'000) << "stress must push at least a million events";
+  EXPECT_EQ(loop_executed, spec_executed);
+  EXPECT_EQ(loop.pending_events(), 0u);
+  EXPECT_EQ(loop.scheduled_events(), static_cast<uint64_t>(scheduled));
+  EXPECT_EQ(loop.cancelled_events(), static_cast<uint64_t>(cancels_landed));
+  EXPECT_EQ(loop.executed_events(), static_cast<uint64_t>(scheduled - cancels_landed));
+  EXPECT_GE(loop.peak_pending_events(), loop_executed.size() / 100);
+}
+
+TEST(EventLoopStress, SameTickEventsFireInSchedulingOrder) {
+  EventLoop loop;
+  uint64_t rng = 0xf1f0ull;
+  std::vector<int> executed;
+  std::vector<std::vector<int>> expected_per_tick(64);
+  int token = 0;
+  for (int round = 0; round < 20000; ++round) {
+    const Time tick = 100 + (NextRand(&rng) % 64) * 97;  // 64 distinct ticks
+    const int id = token++;
+    EventId handle = loop.ScheduleAt(tick, [&executed, id] { executed.push_back(id); });
+    if (NextRand(&rng) % 4 == 0) {
+      loop.Cancel(handle);
+    } else {
+      expected_per_tick[(tick - 100) / 97].push_back(id);
+    }
+  }
+  loop.RunToCompletion();
+  // Flatten expectations in tick order; within a tick, scheduling order.
+  std::vector<int> expected;
+  for (const auto& tick : expected_per_tick) {
+    expected.insert(expected.end(), tick.begin(), tick.end());
+  }
+  EXPECT_EQ(executed, expected);
+}
+
+TEST(EventLoopStress, NestedRunUntilWithSchedulingAndCancellationInside) {
+  EventLoop loop;
+  std::vector<std::string> order;
+  // Depth-3 nesting: each level schedules a child inside its own drained
+  // window, an escapee beyond it, and cancels a decoy.
+  std::function<void(int)> enter = [&](int depth) {
+    order.push_back("enter" + std::to_string(depth));
+    EventId decoy = loop.Schedule(5, [&order] { order.push_back("decoy"); });
+    if (depth < 3) {
+      loop.Schedule(10, [&, depth] { enter(depth + 1); });
+    }
+    loop.Schedule(150, [&order, depth] { order.push_back("escapee" + std::to_string(depth)); });
+    loop.Cancel(decoy);
+    loop.RunFor(100);  // drains the child chain, not the escapees
+    order.push_back("exit" + std::to_string(depth));
+  };
+  loop.Schedule(10, [&] { enter(1); });
+  loop.RunToCompletion();
+  // Level d enters at t = 10d and schedules its escapee at 10d + 150, so
+  // escapees fire in entry order once the whole nest has unwound.
+  EXPECT_EQ(order, (std::vector<std::string>{
+                       "enter1", "enter2", "enter3", "exit3", "exit2", "exit1",
+                       "escapee1", "escapee2", "escapee3"}));
+}
+
+TEST(EventLoopStress, DeadOwnerSkipsAtScale) {
+  InternTable names;
+  EventLoop loop;
+  std::set<uint32_t> dead;
+  loop.SetOwnerAliveCheck([&dead](NodeId owner) { return dead.count(owner.id()) == 0; });
+
+  constexpr int kOwners = 100;
+  constexpr int kEventsPerOwner = 1000;
+  std::vector<NodeId> owners;
+  for (int i = 0; i < kOwners; ++i) {
+    owners.push_back(names.Intern("node" + std::to_string(i)));
+  }
+  uint64_t executed_for_dead = 0;
+  uint64_t executed_total = 0;
+  for (int i = 0; i < kOwners; ++i) {
+    for (int j = 0; j < kEventsPerOwner; ++j) {
+      loop.Schedule(1000 + static_cast<Time>(j), [&, i] {
+        ++executed_total;
+        executed_for_dead += dead.count(owners[static_cast<size_t>(i)].id());
+      }, owners[static_cast<size_t>(i)]);
+    }
+  }
+  // Half the owners die before any of their events fire.
+  loop.Schedule(500, [&] {
+    for (int i = 0; i < kOwners; i += 2) {
+      dead.insert(owners[static_cast<size_t>(i)].id());
+    }
+  });
+  loop.RunToCompletion();
+  EXPECT_EQ(executed_for_dead, 0u);
+  EXPECT_EQ(executed_total, static_cast<uint64_t>(kOwners / 2 * kEventsPerOwner));
+  EXPECT_EQ(loop.skipped_dead_owner_events(),
+            static_cast<uint64_t>(kOwners / 2 * kEventsPerOwner));
+}
+
+// Counts copies of a payload captured in a scheduled closure. The old loop
+// copied the whole Event (closure included) out of priority_queue::top() on
+// every pop; the slab loop must never copy a closure after Schedule accepts
+// it — not on insert, not on far-to-wheel migration, not on pop.
+struct CopyProbe {
+  static int copies;
+  int tag = 0;
+  CopyProbe() = default;
+  explicit CopyProbe(int t) : tag(t) {}
+  CopyProbe(const CopyProbe& other) : tag(other.tag) { ++copies; }
+  CopyProbe& operator=(const CopyProbe& other) {
+    tag = other.tag;
+    ++copies;
+    return *this;
+  }
+  CopyProbe(CopyProbe&& other) noexcept : tag(other.tag) {}
+  CopyProbe& operator=(CopyProbe&& other) noexcept {
+    tag = other.tag;
+    return *this;
+  }
+};
+int CopyProbe::copies = 0;
+
+TEST(EventLoopStress, ScheduledClosuresAreNeverCopied) {
+  EventLoop loop;
+  CopyProbe::copies = 0;
+  int fired = 0;
+  for (int i = 0; i < 2000; ++i) {
+    CopyProbe probe(i);
+    // Near events stay in the wheel; far ones migrate far-heap -> wheel on
+    // rebase — the migration moves slot indices, never nodes.
+    const Time delay = (i % 2 == 0) ? static_cast<Time>(i % 1000)
+                                    : static_cast<Time>(10000 + i * 7);
+    std::function<void()> fn = [probe = std::move(probe), &fired] {
+      fired += probe.tag >= 0 ? 1 : 0;
+    };
+    EventId id = loop.Schedule(delay, std::move(fn));
+    if (i % 5 == 0) {
+      loop.Cancel(id);  // cancel path releases the closure without copying
+    }
+  }
+  loop.RunToCompletion();
+  EXPECT_EQ(fired, 1600);
+  EXPECT_EQ(CopyProbe::copies, 0)
+      << "the scheduler copied a scheduled closure; the slab/ladder pop path "
+         "must move, not copy";
+}
+
+TEST(EventLoopStress, PendingCountDropsAtCancelTimeAndStaleCancelsNoOp) {
+  EventLoop loop;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(loop.Schedule(10 + static_cast<Time>(i), [] {}));
+  }
+  ASSERT_EQ(loop.pending_events(), 100u);
+
+  // Live count drops the moment Cancel lands — not when the tombstone is
+  // eventually popped (the old loop reported those as still pending).
+  for (int i = 0; i < 40; ++i) {
+    loop.Cancel(ids[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(loop.pending_events(), 60u);
+  EXPECT_EQ(loop.cancelled_events(), 40u);
+
+  // Double-cancel is a no-op.
+  loop.Cancel(ids[0]);
+  EXPECT_EQ(loop.pending_events(), 60u);
+  EXPECT_EQ(loop.cancelled_events(), 40u);
+
+  // Cancel after execution is a no-op: the slot's generation was bumped.
+  loop.RunToCompletion();
+  EXPECT_EQ(loop.pending_events(), 0u);
+  loop.Cancel(ids[99]);
+  EXPECT_EQ(loop.cancelled_events(), 40u);
+  EXPECT_EQ(loop.executed_events(), 60u);
+
+  // Slots recycle: a fresh schedule may reuse a slot, and the stale id for
+  // that slot must still be a no-op against the new occupant.
+  EventId fresh = loop.Schedule(5, [] {});
+  for (EventId stale : ids) {
+    loop.Cancel(stale);
+  }
+  EXPECT_EQ(loop.pending_events(), 1u);
+  loop.Cancel(fresh);
+  EXPECT_EQ(loop.pending_events(), 0u);
+  loop.RunToCompletion();
+  EXPECT_EQ(loop.executed_events(), 60u);
+}
+
+}  // namespace
+}  // namespace ctsim

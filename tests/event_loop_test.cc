@@ -42,12 +42,14 @@ TEST(EventLoop, CancelPreventsExecution) {
 }
 
 TEST(EventLoop, DeadOwnerEventsAreSkipped) {
+  InternTable names;
   EventLoop loop;
   bool alive_ran = false;
   bool dead_ran = false;
-  loop.SetOwnerAliveCheck([](const std::string& owner) { return owner == "alive"; });
-  loop.Schedule(5, [&] { alive_ran = true; }, "alive");
-  loop.Schedule(5, [&] { dead_ran = true; }, "dead");
+  const NodeId alive = names.Intern("alive");
+  loop.SetOwnerAliveCheck([alive](NodeId owner) { return owner == alive; });
+  loop.Schedule(5, [&] { alive_ran = true; }, alive);
+  loop.Schedule(5, [&] { dead_ran = true; }, names.Intern("dead"));
   loop.RunToCompletion();
   EXPECT_TRUE(alive_ran);
   EXPECT_FALSE(dead_ran);
@@ -55,11 +57,12 @@ TEST(EventLoop, DeadOwnerEventsAreSkipped) {
 }
 
 TEST(EventLoop, OwnerCheckedAtFireTimeNotScheduleTime) {
+  InternTable names;
   EventLoop loop;
   bool node_alive = true;
   bool ran = false;
-  loop.SetOwnerAliveCheck([&](const std::string&) { return node_alive; });
-  loop.Schedule(10, [&] { ran = true; }, "node");
+  loop.SetOwnerAliveCheck([&](NodeId) { return node_alive; });
+  loop.Schedule(10, [&] { ran = true; }, names.Intern("node"));
   loop.Schedule(5, [&] { node_alive = false; });  // crash before the timer fires
   loop.RunToCompletion();
   EXPECT_FALSE(ran);

@@ -356,6 +356,43 @@ TEST(ModelLint, FlagsUnarmableMultiCrashPairs) {
   EXPECT_EQ(LintModel(clean).CountOf("static-pair-unreachable"), 0);
 }
 
+TEST(ModelLint, FlagsDeclsEmbeddingConcreteNodeIndices) {
+  // Synthetic offenders: decls pinned to one member of one deployment stop
+  // matching anything past the first replica once --scale stamps out more.
+  ProgramModel model = TinyModel();
+
+  ctmodel::AccessPointDecl indexed_class;
+  indexed_class.field_id = "Server.state";  // undeclared; not this check's concern
+  indexed_class.clazz = "RServer3";         // role stem + concrete index
+  indexed_class.method = "open";
+  model.AddAccessPoint(indexed_class);
+
+  ctmodel::AccessPointDecl indexed_context;
+  indexed_context.clazz = "Server";
+  indexed_context.method = "rpc";
+  indexed_context.context_method = "Server.handleNode12";  // index hides in the anchor
+  model.AddAccessPoint(indexed_context);
+
+  ctmodel::AccessPointDecl host_port;
+  host_port.clazz = "Server";
+  host_port.method = "connect_namenode1:9000";  // host:port instance
+  model.AddAccessPoint(host_port);
+
+  model.AddSpan({"rm.register-zkpeer2", "Server.rpc", "indexed span name"});
+  model.AddSpan({"rm.register-node", "Server.rpc", "clean; note may say node1 freely"});
+
+  LintResult result = LintModel(model);
+  EXPECT_EQ(result.CountOf("scale-invariant-decl"), 4);
+
+  // Role names without a trailing index never trip the check.
+  ProgramModel clean = TinyModel();
+  ctmodel::AccessPointDecl role;
+  role.clazz = "NodeManager";
+  role.method = "registerWithRM";
+  clean.AddAccessPoint(role);
+  EXPECT_EQ(LintModel(clean).CountOf("scale-invariant-decl"), 0);
+}
+
 TEST(ModelLint, VirtualEdgeWithNoDispatchTargetIsDangling) {
   ProgramModel model = TinyModel();
   model.AddCallEdge({"Server.rpc", "Base.render", CallKind::kVirtual});

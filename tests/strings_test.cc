@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/interner.h"
 #include "src/common/rng.h"
 
 namespace ctcommon {
@@ -130,6 +131,52 @@ TEST(ToString, Basics) {
   EXPECT_EQ(ToString(std::string("s")), "s");
   EXPECT_EQ(ToString(42), "42");
   EXPECT_EQ(ToString(static_cast<uint64_t>(7)), "7");
+}
+
+TEST(InternTable, InternIsIdempotentAndIdsAreDense) {
+  InternTable table;
+  const Symbol a = table.Intern("alpha");
+  const Symbol b = table.Intern("beta");
+  EXPECT_EQ(table.Intern("alpha").id(), a.id());
+  EXPECT_NE(a.id(), b.id());
+  // Id 0 is the empty string, always present.
+  EXPECT_EQ(table.Intern("").id(), 0u);
+  EXPECT_TRUE(table.Intern("").empty());
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(InternTable, FindDoesNotCreate) {
+  InternTable table;
+  EXPECT_TRUE(table.Find("missing").empty());
+  EXPECT_EQ(table.size(), 1u);  // only ""
+  table.Intern("present");
+  EXPECT_EQ(table.Find("present").str(), "present");
+}
+
+TEST(InternTable, SymbolsSurviveTableGrowth) {
+  InternTable table;
+  const Symbol first = table.Intern("first");
+  const std::string* address = &first.str();
+  for (int i = 0; i < 10000; ++i) {
+    table.Intern("filler" + std::to_string(i));
+  }
+  // Storage is address-stable: the symbol's text never reallocates.
+  EXPECT_EQ(&first.str(), address);
+  EXPECT_EQ(table.At(first.id()).str(), "first");
+}
+
+TEST(Symbol, ComparesByIdButOrdersByText) {
+  InternTable table;
+  const Symbol z = table.Intern("zebra");  // lower id
+  const Symbol a = table.Intern("ant");    // higher id
+  EXPECT_TRUE(z == z);
+  EXPECT_TRUE(z != a);
+  EXPECT_TRUE(a < z);  // lexicographic, not id order
+  EXPECT_TRUE(z == "zebra");
+  EXPECT_TRUE(z == std::string("zebra"));
+  EXPECT_EQ(z + "!", "zebra!");
+  EXPECT_EQ("<" + std::string(z), "<zebra");
+  EXPECT_EQ(SymbolIdHash{}(a), a.id());
 }
 
 }  // namespace

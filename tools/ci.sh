@@ -77,6 +77,19 @@ echo "== stage 4e: representative injection smoke (equivalence classes vs exhaus
 ./build/bench/bench_representative --jobs 0 --json build/BENCH_representative.json \
   | tail -n 12
 
+echo "== stage 4f: scale-out scheduler smoke (ladder queue vs legacy, --scale sweep) =="
+# Microbenches the ladder-queue/slab event loop against the embedded legacy
+# priority-queue baseline (>=10x events/sec bar), then sweeps replicated
+# fault-free campaigns over small and medium --scale levels at jobs=1 and
+# jobs=4, cross-checking per-task event counts so a scheduling-order
+# divergence between thread counts fails the stage. Leaves throughput, peak
+# queue depth, and the jobs-4 speedup at the largest level in
+# BENCH_scale.json (the >=2x speedup bar is enforced only on >=4-hardware-
+# thread machines; single-core CI records the number without failing).
+# Byte-identical reports at --scale 8 across jobs=1/jobs=4 are asserted by
+# campaign_test's ScaleDeterminism suite in stage 2.
+./build/bench/bench_scale --json build/BENCH_scale.json 1 2 8 | tail -n 14
+
 if [[ "$skip_sanitizers" == 1 ]]; then
   echo "== stages 5-6: sanitizers skipped =="
   exit 0
