@@ -1,0 +1,149 @@
+// Fuzz smoke: a short coverage-guided fuzz campaign on every system.
+//
+// For each of the five minis the full pipeline runs once, then the fuzz
+// phase explores `budget` grammar-op workloads at jobs=1 and jobs=4. The
+// bench fails (nonzero exit) if any system discovers no ⟨point, call-string⟩
+// pair beyond the fixed script, if the two jobs levels disagree on corpus or
+// trace hash (the determinism contract fuzz_property_test pins in CI's
+// stage 2 — here cross-checked against a live campaign), or — on machines
+// with >= 4 hardware threads — if jobs=4 is not >= 2x faster overall.
+// Results land in BENCH_fuzz.json.
+//
+// Usage: bench_fuzz [budget] [--jobs N] [--json FILE]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/campaign.h"
+#include "src/fuzz/fuzz_phase.h"
+
+namespace {
+
+struct SystemRow {
+  std::string name;
+  int runs = 0;
+  int corpus_size = 0;
+  int baseline_pairs = 0;
+  int new_pairs = 0;
+  int bug_runs = 0;
+  double serial_seconds = 0;
+  double parallel_seconds = 0;
+  bool deterministic = true;
+
+  double runs_per_sec() const { return serial_seconds > 0 ? runs / serial_seconds : 0; }
+};
+
+double Wall(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ctbench::BenchFlags flags = ctbench::ParseFlags(argc, argv);
+  int budget = 48;
+  if (!flags.positional.empty()) {
+    budget = std::atoi(flags.positional.front().c_str());
+    if (budget < 1) {
+      std::fprintf(stderr, "usage: bench_fuzz [budget] [--jobs N] [--json FILE]\n");
+      return 2;
+    }
+  }
+  const std::string json_path = flags.json_path.empty() ? "BENCH_fuzz.json" : flags.json_path;
+
+  ctbench::PrintHeader("Coverage-guided workload fuzzing: " + std::to_string(budget) +
+                       "-run smoke per system");
+  std::printf("%-22s %6s %8s %10s %10s %8s %10s %10s\n", "system", "runs", "corpus",
+              "baseline", "new_pairs", "bugs", "wall_s(1)", "runs/sec");
+
+  auto systems = ctbench::AllSystems();
+  std::vector<SystemRow> rows;
+  double serial_total = 0, parallel_total = 0;
+  for (const auto& system : systems) {
+    SystemRow row;
+    row.name = system->name();
+
+    ctcore::SystemReport serial_report = ctcore::CrashTunerDriver().Run(*system);
+    ctcore::SystemReport parallel_report = serial_report;
+
+    ctfuzz::FuzzPhaseOptions serial_options;
+    serial_options.runs = budget;
+    serial_options.jobs = 1;
+    const auto serial_start = std::chrono::steady_clock::now();
+    ctfuzz::FuzzResult serial = ctfuzz::RunFuzzPhase(*system, &serial_report, serial_options);
+    row.serial_seconds = Wall(serial_start);
+
+    ctfuzz::FuzzPhaseOptions parallel_options = serial_options;
+    parallel_options.jobs = 4;
+    const auto parallel_start = std::chrono::steady_clock::now();
+    ctfuzz::FuzzResult parallel =
+        ctfuzz::RunFuzzPhase(*system, &parallel_report, parallel_options);
+    row.parallel_seconds = Wall(parallel_start);
+
+    row.runs = serial.runs;
+    row.corpus_size = static_cast<int>(serial.corpus.size());
+    row.baseline_pairs = serial_report.fuzz.baseline_pairs;
+    row.new_pairs = static_cast<int>(serial.new_keys.size());
+    row.bug_runs = serial.bug_runs;
+    row.deterministic = serial.trace_hash == parallel.trace_hash &&
+                        serial.corpus.size() == parallel.corpus.size() &&
+                        serial.new_keys == parallel.new_keys;
+    serial_total += row.serial_seconds;
+    parallel_total += row.parallel_seconds;
+
+    std::printf("%-22s %6d %8d %10d %10d %8d %10.3f %10.1f\n", row.name.c_str(), row.runs,
+                row.corpus_size, row.baseline_pairs, row.new_pairs, row.bug_runs,
+                row.serial_seconds, row.runs_per_sec());
+    rows.push_back(row);
+  }
+
+  ctbench::PrintRule();
+  const double speedup = parallel_total > 0 ? serial_total / parallel_total : 0;
+  const int hardware_threads = ctcore::ResolveJobs(0);
+  const bool enforce_speedup = hardware_threads >= 4;
+  std::printf("jobs=4 speedup over all systems: %.2fx  (bar: >= 2x, %s on %d hardware "
+              "thread(s))\n",
+              speedup, enforce_speedup ? "enforced" : "not enforced", hardware_threads);
+
+  int failures = 0;
+  for (const SystemRow& row : rows) {
+    if (row.new_pairs < 1) {
+      std::printf("FAIL: %s discovered no pair beyond the fixed script\n", row.name.c_str());
+      ++failures;
+    }
+    if (!row.deterministic) {
+      std::printf("FAIL: %s diverged between jobs=1 and jobs=4\n", row.name.c_str());
+      ++failures;
+    }
+  }
+  failures += enforce_speedup && speedup < 2.0 ? 1 : 0;
+
+  std::ofstream json(json_path);
+  json << "{\n  \"schema\": \"crashtuner-bench-fuzz-v1\",\n";
+  json << "  \"budget_per_system\": " << budget << ",\n";
+  json << "  \"systems\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SystemRow& row = rows[i];
+    json << "    {\"system\": \"" << row.name << "\", \"runs\": " << row.runs
+         << ", \"corpus_size\": " << row.corpus_size
+         << ", \"baseline_pairs\": " << row.baseline_pairs
+         << ", \"new_pairs\": " << row.new_pairs << ", \"bug_runs\": " << row.bug_runs
+         << ", \"serial_seconds\": " << row.serial_seconds
+         << ", \"parallel_seconds\": " << row.parallel_seconds
+         << ", \"runs_per_sec\": " << row.runs_per_sec()
+         << ", \"deterministic\": " << (row.deterministic ? "true" : "false") << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"jobs4_speedup\": " << speedup << ",\n";
+  json << "  \"hardware_threads\": " << hardware_threads << ",\n";
+  json << "  \"speedup_bar_enforced\": " << (enforce_speedup ? "true" : "false") << ",\n";
+  json << "  \"pass\": " << (failures == 0 ? "true" : "false") << "\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+
+  return failures;
+}

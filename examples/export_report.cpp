@@ -14,7 +14,12 @@
 //   --jobs N                   campaign worker threads (0 = hardware);
 //   --scale N                  deployment scale multiplier: every system's
 //                              replicated-role count and workload size grow
-//                              N-fold (1 = the paper's deployment).
+//                              N-fold (1 = the paper's deployment);
+//   --fuzz N                   after the pipeline, run an N-run coverage-
+//                              guided workload-fuzzing phase per system
+//                              (reports gain a "fuzz" section);
+//   --corpus-dir DIR           save each system's fuzz corpus under
+//                              DIR/<system>/ (implies nothing without --fuzz).
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -23,6 +28,7 @@
 #include "src/analysis/log_analysis.h"
 #include "src/core/crashtuner.h"
 #include "src/core/report_writer.h"
+#include "src/fuzz/fuzz_phase.h"
 #include "src/systems/cassandra/cass_system.h"
 #include "src/systems/hbase/hbase_system.h"
 #include "src/systems/hdfs/hdfs_system.h"
@@ -32,7 +38,8 @@
 namespace {
 
 void Export(const ctcore::SystemUnderTest& system, const ctcore::DriverOptions& options,
-            const std::filesystem::path& directory) {
+            const std::filesystem::path& directory, int fuzz_runs,
+            const std::filesystem::path& corpus_dir) {
   ctcore::CrashTunerDriver driver;
   ctcore::SystemReport report = driver.Run(system, options);
 
@@ -41,6 +48,17 @@ void Export(const ctcore::SystemUnderTest& system, const ctcore::DriverOptions& 
     if (c == '/' || c == ' ') {
       c = '_';
     }
+  }
+  if (fuzz_runs > 0) {
+    ctfuzz::FuzzPhaseOptions fuzz_options;
+    fuzz_options.runs = fuzz_runs;
+    fuzz_options.seed = options.seed;
+    fuzz_options.jobs = options.jobs;
+    fuzz_options.observer = options.observer;
+    if (!corpus_dir.empty()) {
+      fuzz_options.corpus_dir = (corpus_dir / stem).string();
+    }
+    ctfuzz::RunFuzzPhase(system, &report, fuzz_options);
   }
   std::ofstream(directory / (stem + ".md")) << ctcore::ReportToMarkdown(report);
   std::ofstream(directory / (stem + ".json")) << ctcore::ReportToJson(report);
@@ -55,6 +73,10 @@ void Export(const ctcore::SystemUnderTest& system, const ctcore::DriverOptions& 
       std::printf(", %d VALIDATION MISMATCH(ES)", report.equivalence.validation_mismatches);
     }
   }
+  if (report.fuzz.active) {
+    std::printf(", fuzz: %d runs, corpus %d, %d new pair(s)", report.fuzz.runs,
+                report.fuzz.corpus_size, report.fuzz.new_pairs);
+  }
   std::printf(")\n");
 }
 
@@ -64,6 +86,8 @@ int main(int argc, char** argv) {
   std::filesystem::path directory = "/tmp/crashtuner-reports";
   ctcore::DriverOptions options;
   int scale = 1;
+  int fuzz_runs = 0;
+  std::filesystem::path corpus_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--representative") {
@@ -74,6 +98,14 @@ int main(int argc, char** argv) {
       options.context_mode = ctcore::ContextMode::kStaticOnly;
     } else if (arg == "--jobs" && i + 1 < argc) {
       options.jobs = std::atoi(argv[++i]);
+    } else if (arg == "--fuzz" && i + 1 < argc) {
+      fuzz_runs = std::atoi(argv[++i]);
+      if (fuzz_runs < 1) {
+        std::fprintf(stderr, "--fuzz must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--corpus-dir" && i + 1 < argc) {
+      corpus_dir = argv[++i];
     } else if (arg == "--scale" && i + 1 < argc) {
       scale = std::atoi(argv[++i]);
       if (scale < 1) {
@@ -83,7 +115,8 @@ int main(int argc, char** argv) {
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr,
                    "usage: export_report [DIR] [--representative | "
-                   "--validate-representative] [--static-only] [--jobs N] [--scale N]\n");
+                   "--validate-representative] [--static-only] [--jobs N] [--scale N] "
+                   "[--fuzz N] [--corpus-dir DIR]\n");
       return 2;
     } else {
       directory = arg;
@@ -99,7 +132,7 @@ int main(int argc, char** argv) {
   for (ctcore::SystemUnderTest* system :
        std::initializer_list<ctcore::SystemUnderTest*>{&yarn, &hdfs, &hbase, &zk, &cass}) {
     system->set_scale(scale);
-    Export(*system, options, directory);
+    Export(*system, options, directory, fuzz_runs, corpus_dir);
   }
   return 0;
 }

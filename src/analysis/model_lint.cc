@@ -369,6 +369,47 @@ LintResult LintModel(const ctmodel::ProgramModel& model) {
                        std::to_string(window.point) + ")");
   }
 
+  // Grammar ops must target the declared program model: an RPC op's
+  // target_method anchors the generated message in a declared handler (a typo
+  // yields an op no node ever handles, silently weakening every fuzz
+  // campaign), and a crash/shutdown op's target_class names the role being
+  // killed, which must declare methods. Malformed shape — duplicate or empty
+  // names, no victim prefix, a non-positive weight, an empty firing window —
+  // is reported under the same check: each makes the op undrawable or
+  // untargetable.
+  std::set<std::string> grammar_op_names;
+  for (const auto& op : model.grammar_ops()) {
+    const std::string subject = "grammar-op '" + op.name + "'";
+    if (op.name.empty()) {
+      report("grammar-op-unknown-target", subject, "op has an empty name");
+    } else if (!grammar_op_names.insert(op.name).second) {
+      report("grammar-op-unknown-target", subject, "op name is declared more than once");
+    }
+    if (op.target_prefix.empty()) {
+      report("grammar-op-unknown-target", subject,
+             "no target_prefix to draw a victim node from");
+    }
+    if (op.weight < 1) {
+      report("grammar-op-unknown-target", subject,
+             "weight " + std::to_string(op.weight) + " can never be drawn");
+    }
+    if (op.max_time_ms <= op.min_time_ms) {
+      report("grammar-op-unknown-target", subject,
+             "firing window [" + std::to_string(op.min_time_ms) + ", " +
+                 std::to_string(op.max_time_ms) + ") is empty");
+    }
+    if (op.kind == ctmodel::GrammarOpKind::kRpc) {
+      if (model.FindMethod(op.target_method) == nullptr) {
+        report("grammar-op-unknown-target", subject,
+               "target method '" + op.target_method + "' is not a declared method");
+      }
+    } else if (model.MethodsOf(op.target_class).empty()) {
+      report("grammar-op-unknown-target", subject,
+             "target class '" + op.target_class + "' declares no methods — not a role "
+             "the grammar can kill");
+    }
+  }
+
   // IO points get the same treatment as access points: their method pair must
   // be declared, and executable callsites must be declared, reachable methods.
   std::set<std::pair<std::string, std::string>> declared_io_methods;

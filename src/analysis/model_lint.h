@@ -49,6 +49,12 @@
 //                        run distinct from the first and is a dead decl; pairs
 //                        compare unordered, so a (B,A) decl of a declared
 //                        (A,B) scenario is flagged
+//   grammar-op-unknown-target
+//                        fuzz-grammar op whose RPC target is no declared
+//                        method, or whose crash/shutdown target class declares
+//                        no methods — the generated op would be unroutable;
+//                        also malformed shape (duplicate/empty name, missing
+//                        victim prefix, non-positive weight, empty window)
 //   window-without-span-anchor
 //                        malformed span declaration (empty or duplicate name,
 //                        undeclared method), or a declared fault window —

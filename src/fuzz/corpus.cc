@@ -1,0 +1,112 @@
+#include "src/fuzz/corpus.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ctfuzz {
+
+namespace {
+
+std::string EntryFileName(size_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "entry-%04zu.txt", index);
+  return name;
+}
+
+std::string ReadWholeFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("fuzz corpus: cannot open '" + path.string() + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+void Corpus::SaveTo(const std::string& dir) const {
+  const std::filesystem::path root(dir);
+  std::filesystem::create_directories(root);
+  std::ofstream manifest(root / "MANIFEST", std::ios::binary | std::ios::trunc);
+  if (!manifest) {
+    throw std::runtime_error("fuzz corpus: cannot write '" + (root / "MANIFEST").string() + "'");
+  }
+  manifest << "entries " << entries_.size() << "\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const CorpusEntry& entry = entries_[i];
+    const std::string file = EntryFileName(i);
+    std::ostringstream body;
+    body << "run " << entry.run_index << " trace " << entry.trace_hash << " new "
+         << entry.new_keys << "\n";
+    body << entry.workload.Serialize();
+    std::ofstream out(root / file, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("fuzz corpus: cannot write '" + (root / file).string() + "'");
+    }
+    out << body.str();
+    out << "hash " << FnvHash(body.str()) << "\n";
+    manifest << file << "\n";
+  }
+}
+
+Corpus Corpus::LoadFrom(const std::string& dir) {
+  const std::filesystem::path root(dir);
+  const std::string manifest_text = ReadWholeFile(root / "MANIFEST");
+  std::istringstream manifest(manifest_text);
+  std::string tag;
+  size_t count = 0;
+  if (!(manifest >> tag >> count) || tag != "entries") {
+    throw std::runtime_error("fuzz corpus: malformed MANIFEST in '" + dir + "'");
+  }
+  Corpus corpus;
+  for (size_t i = 0; i < count; ++i) {
+    std::string file;
+    if (!(manifest >> file)) {
+      throw std::runtime_error("fuzz corpus: MANIFEST truncated in '" + dir + "' (" +
+                               std::to_string(i) + "/" + std::to_string(count) + " entries)");
+    }
+    const std::filesystem::path path = root / file;
+    const std::string text = ReadWholeFile(path);
+    // The checksum line is the last line; everything before it is the body.
+    const size_t hash_pos = text.rfind("hash ");
+    if (hash_pos == std::string::npos || (hash_pos != 0 && text[hash_pos - 1] != '\n')) {
+      throw std::runtime_error("fuzz corpus: missing checksum line in '" + path.string() + "'");
+    }
+    const std::string body = text.substr(0, hash_pos);
+    std::istringstream hash_line(text.substr(hash_pos));
+    uint64_t stored = 0;
+    if (!(hash_line >> tag >> stored) || tag != "hash") {
+      throw std::runtime_error("fuzz corpus: malformed checksum line in '" + path.string() + "'");
+    }
+    if (FnvHash(body) != stored) {
+      throw std::runtime_error("fuzz corpus: checksum mismatch in '" + path.string() +
+                               "' (corrupted or truncated entry)");
+    }
+    std::istringstream header_in(body);
+    std::string header;
+    if (!std::getline(header_in, header)) {
+      throw std::runtime_error("fuzz corpus: empty entry '" + path.string() + "'");
+    }
+    CorpusEntry entry;
+    std::istringstream fields(header);
+    std::string run_tag, trace_tag, new_tag;
+    if (!(fields >> run_tag >> entry.run_index >> trace_tag >> entry.trace_hash >> new_tag >>
+          entry.new_keys) ||
+        run_tag != "run" || trace_tag != "trace" || new_tag != "new") {
+      throw std::runtime_error("fuzz corpus: malformed entry header in '" + path.string() + "'");
+    }
+    const size_t body_start = body.find('\n');
+    try {
+      entry.workload = FuzzWorkload::Parse(body.substr(body_start + 1));
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error("fuzz corpus: '" + path.string() + "': " + e.what());
+    }
+    corpus.Add(std::move(entry));
+  }
+  return corpus;
+}
+
+}  // namespace ctfuzz

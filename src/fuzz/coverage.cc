@@ -1,0 +1,18 @@
+#include "src/fuzz/coverage.h"
+
+namespace ctfuzz {
+
+std::set<CoverageKey> HarvestCoverage(const ctrt::AccessTracer& tracer) {
+  std::set<CoverageKey> keys;
+  for (const auto& [point, hits] : tracer.dynamic_access_points()) {
+    (void)hits;
+    keys.insert(CoverageKey{/*io=*/false, point});
+  }
+  for (const auto& [point, hits] : tracer.dynamic_io_points()) {
+    (void)hits;
+    keys.insert(CoverageKey{/*io=*/true, point});
+  }
+  return keys;
+}
+
+}  // namespace ctfuzz

@@ -1,0 +1,51 @@
+// Coverage map for the workload fuzzer.
+//
+// A coverage key is exactly the paper's dynamic crash point — an
+// ⟨access/io point id, canonical bounded call string⟩ pair as harvested from
+// the runtime tracer — so "new coverage" means "a dynamic point the fixed
+// workload script never produced", which is the artifact Phase 2 injects at.
+#ifndef SRC_FUZZ_COVERAGE_H_
+#define SRC_FUZZ_COVERAGE_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+
+#include "src/runtime/tracer.h"
+
+namespace ctfuzz {
+
+struct CoverageKey {
+  bool io = false;  // false: meta-info access point, true: io point
+  ctrt::DynamicPoint point;
+
+  bool operator<(const CoverageKey& other) const {
+    if (io != other.io) {
+      return io < other.io;
+    }
+    return point < other.point;
+  }
+  bool operator==(const CoverageKey& other) const {
+    return io == other.io && point == other.point;
+  }
+};
+
+class CoverageMap {
+ public:
+  // Returns true iff the key was not already covered.
+  bool Add(const CoverageKey& key) { return keys_.insert(key).second; }
+
+  bool Contains(const CoverageKey& key) const { return keys_.count(key) > 0; }
+  size_t size() const { return keys_.size(); }
+  const std::set<CoverageKey>& keys() const { return keys_; }
+
+ private:
+  std::set<CoverageKey> keys_;
+};
+
+// Collects the coverage keys of a finished profiled run from its tracer.
+std::set<CoverageKey> HarvestCoverage(const ctrt::AccessTracer& tracer);
+
+}  // namespace ctfuzz
+
+#endif  // SRC_FUZZ_COVERAGE_H_

@@ -1,0 +1,63 @@
+#include "src/fuzz/fuzz_phase.h"
+
+#include "src/obs/observer.h"
+#include "src/obs/span.h"
+
+namespace ctfuzz {
+
+FuzzResult RunFuzzPhase(const ctcore::SystemUnderTest& system, ctcore::SystemReport* report,
+                        const FuzzPhaseOptions& options) {
+  FuzzResult result;
+  if (options.runs <= 0) {
+    return result;
+  }
+  ctobs::RunObserver* driver_obs =
+      options.observer != nullptr ? &options.observer->driver_observer() : nullptr;
+  ctobs::ScopedSpan fuzz_span(driver_obs, nullptr, "fuzz", "driver");
+
+  // The fixed workload script's dynamic points are the coverage floor: every
+  // pair fuzzing "discovers" is by construction beyond the script.
+  std::set<CoverageKey> baseline;
+  for (const ctrt::DynamicPoint& point : report->profile.dynamic_access_points) {
+    baseline.insert(CoverageKey{/*io=*/false, point});
+  }
+  for (const ctrt::DynamicPoint& point : report->profile.dynamic_io_points) {
+    baseline.insert(CoverageKey{/*io=*/true, point});
+  }
+
+  FuzzOptions fuzz_options;
+  fuzz_options.budget = options.runs;
+  fuzz_options.seed = options.seed + 2000;
+  fuzz_options.jobs = options.jobs;
+  fuzz_options.observer = options.observer;
+  fuzz_options.observer_slot_base = static_cast<int>(report->injections.size());
+
+  const WorkloadFuzzer fuzzer;
+  result = fuzzer.Run(system, report->crash_points.PointIds(), /*io_points=*/{}, baseline,
+                      fuzz_options);
+
+  if (!options.corpus_dir.empty()) {
+    result.corpus.SaveTo(options.corpus_dir);
+  }
+
+  ctcore::FuzzSummary& summary = report->fuzz;
+  summary.active = true;
+  summary.runs = result.runs;
+  summary.corpus_size = static_cast<int>(result.corpus.size());
+  summary.baseline_pairs = static_cast<int>(baseline.size());
+  summary.coverage_pairs = static_cast<int>(result.coverage.size());
+  summary.new_pairs = static_cast<int>(result.new_keys.size());
+  summary.new_coverage_runs = result.new_coverage_runs;
+  summary.bug_runs = result.bug_runs;
+  summary.trace_hash = result.trace_hash;
+
+  if (driver_obs != nullptr) {
+    ctobs::MetricsShard& metrics = driver_obs->metrics();
+    metrics.SetGauge("fuzz.corpus_size", static_cast<int64_t>(result.corpus.size()));
+    metrics.Add("fuzz.new_coverage", static_cast<uint64_t>(result.new_keys.size()));
+    metrics.Add("fuzz.runs", static_cast<uint64_t>(result.runs));
+  }
+  return result;
+}
+
+}  // namespace ctfuzz

@@ -1,0 +1,41 @@
+// Driver glue: runs a fuzzing phase after the CrashTuner pipeline and folds
+// the result into the report's FuzzSummary.
+//
+// Lives in ct_fuzz (not ct_core) so the core driver keeps no dependency on
+// the fuzzer; the CLI tools call RunFuzzPhase when --fuzz N is given, before
+// handing the report to the writer.
+#ifndef SRC_FUZZ_FUZZ_PHASE_H_
+#define SRC_FUZZ_FUZZ_PHASE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/crashtuner.h"
+#include "src/fuzz/fuzzer.h"
+
+namespace ctfuzz {
+
+struct FuzzPhaseOptions {
+  int runs = 0;            // fuzz budget; 0 leaves the report untouched
+  std::string corpus_dir;  // when set, the final corpus is saved here
+  // Campaign seed (DriverOptions::seed). The phase fuzzes under seed + 2000,
+  // keeping its runs disjoint from profiling (seed) and Phase 2 (seed+1000).
+  uint64_t seed = 2019;
+  int jobs = 1;
+  // Same observer the driver used (may be null): the phase opens a "fuzz"
+  // driver span, each run lands in a slot past Phase 2's, and corpus/coverage
+  // gauges go on the driver observer's metrics.
+  ctobs::CampaignObserver* observer = nullptr;
+};
+
+// Fuzzes `system` seeded by the pipeline's report: candidate points are the
+// report's static crash points, baseline coverage is the fixed script's
+// profiled dynamic points. Fills report->fuzz (active = true) and saves the
+// corpus when corpus_dir is set. Returns the full fuzz result for callers
+// that need the corpus or coverage sets (tests, bench).
+FuzzResult RunFuzzPhase(const ctcore::SystemUnderTest& system, ctcore::SystemReport* report,
+                        const FuzzPhaseOptions& options);
+
+}  // namespace ctfuzz
+
+#endif  // SRC_FUZZ_FUZZ_PHASE_H_

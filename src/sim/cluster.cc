@@ -265,8 +265,12 @@ void Cluster::InstallFaultPlan(FaultPlan plan) {
     for (const auto& id : directive.group) {
       members += (members.empty() ? "" : ",") + id;
     }
-    TraceRecord("partition", std::to_string(directive.start_ms) + ".." +
-                                 std::to_string(directive.heal_ms) + " " + members);
+    TraceRecord(directive.one_way ? "partition.oneway" : "partition",
+                std::to_string(directive.start_ms) + ".." +
+                    std::to_string(directive.heal_ms) + " " + members);
+  }
+  for (const auto& [node, permille] : plan_.timer_skew_permille) {
+    TraceRecord("timer-skew", node + " " + std::to_string(permille));
   }
 }
 
@@ -287,11 +291,22 @@ void Cluster::PartitionNodes(const std::vector<std::string>& group, Time duratio
 
 bool Cluster::LinkCut(const std::string& from, const std::string& to) const {
   for (const auto& directive : partitions_) {
-    if (directive.ActiveAt(loop_.Now()) && directive.Separates(from, to)) {
+    if (directive.ActiveAt(loop_.Now()) && directive.Cuts(from, to)) {
       return true;
     }
   }
   return false;
+}
+
+Time Cluster::SkewedDelay(const std::string& owner, Time delay) const {
+  if (plan_.timer_skew_permille.empty()) {
+    return delay;
+  }
+  auto it = plan_.timer_skew_permille.find(owner);
+  if (it == plan_.timer_skew_permille.end() || it->second == 1000) {
+    return delay;
+  }
+  return delay * static_cast<Time>(it->second) / 1000;
 }
 
 void Cluster::TraceRecord(const char* kind, std::string detail) {

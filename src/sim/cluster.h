@@ -105,8 +105,13 @@ class Cluster {
   // `duration_ms` starting now (the trigger's fault-on-appearance primitive).
   // The heal is the directive expiring; no event is scheduled for it.
   void PartitionNodes(const std::vector<std::string>& group, Time duration_ms);
-  // True while an active partition directive separates the two nodes.
+  // True while an active partition directive cuts traffic from → to
+  // (one-way directives cut only the outbound half of the boundary).
   bool LinkCut(const std::string& from, const std::string& to) const;
+  // Timer-skew: stretches (or shrinks) a delay by the plan's per-node clock
+  // rate. Node::After/Every route every timer through this, so a skewed
+  // node's heartbeats and sweeps drift without any network fault.
+  Time SkewedDelay(const std::string& owner, Time delay) const;
 
   // Trace record/replay. When set, every delivery, drop, timer firing, crash,
   // shutdown, start, and fault directive is recorded (or verified, in replay

@@ -35,17 +35,29 @@ struct LinkFault {
 
 // Isolates `group` from every node outside it during [start_ms, heal_ms):
 // messages crossing the boundary in either direction are dropped. A heal is
-// simply the directive expiring; nothing needs to be scheduled.
+// simply the directive expiring; nothing needs to be scheduled. With
+// `one_way` set the cut is half-open: only messages *from* the group to the
+// outside are dropped, while inbound traffic still arrives — the asymmetric
+// failure mode where a node can hear the cluster but not answer it (its
+// heartbeats vanish, so detectors declare it dead while it still acts on
+// everything it receives).
 struct PartitionDirective {
   uint64_t start_ms = 0;
   uint64_t heal_ms = 0;  // exclusive; heal_ms <= start_ms means "never active"
   std::vector<std::string> group;
+  bool one_way = false;
 
   bool ActiveAt(uint64_t now) const { return now >= start_ms && now < heal_ms; }
   bool Separates(const std::string& a, const std::string& b) const {
     bool a_in = std::find(group.begin(), group.end(), a) != group.end();
     bool b_in = std::find(group.begin(), group.end(), b) != group.end();
     return a_in != b_in;
+  }
+  // Whether a message from → to is dropped while the directive is active.
+  bool Cuts(const std::string& from, const std::string& to) const {
+    bool from_in = std::find(group.begin(), group.end(), from) != group.end();
+    bool to_in = std::find(group.begin(), group.end(), to) != group.end();
+    return one_way ? (from_in && !to_in) : (from_in != to_in);
   }
 };
 
@@ -54,6 +66,11 @@ struct FaultPlan {
   // Directed (from, to) overrides; a listed link uses its override alone.
   std::map<std::pair<std::string, std::string>, LinkFault> links;
   std::vector<PartitionDirective> partitions;
+  // Per-node timer rate in permille of nominal: 1000 is an honest clock,
+  // 2000 fires every Node::After/Every timer at twice the requested delay,
+  // 500 at half. A slow clock starves heartbeats and lease renewals without
+  // touching the network — the "alive but declared dead" recovery trigger.
+  std::map<std::string, int> timer_skew_permille;
 
   const LinkFault& LinkFor(const std::string& from, const std::string& to) const {
     auto it = links.find({from, to});
@@ -61,7 +78,8 @@ struct FaultPlan {
   }
 
   bool Empty() const {
-    return default_link.Inert() && links.empty() && partitions.empty();
+    return default_link.Inert() && links.empty() && partitions.empty() &&
+           timer_skew_permille.empty();
   }
 };
 

@@ -97,19 +97,22 @@ void Node::Send(NodeId to, const std::string& method, KvList args) {
 
 void Node::After(Time delay, std::function<void()> fn) {
   cluster_->loop().Schedule(
-      delay, [this, fn = std::move(fn)] { RunGuarded("timer", fn); }, sym_);
+      cluster_->SkewedDelay(id_, delay),
+      [this, fn = std::move(fn)] { RunGuarded("timer", fn); }, sym_);
 }
 
 void Node::Every(Time period, std::function<void()> fn) {
   auto shared = std::make_shared<std::function<void()>>(std::move(fn));
   // The repeating event re-arms itself; owner tagging stops it at death.
+  // Each re-arm re-applies the fault plan's clock skew, so a slow node's
+  // period drifts cumulatively, round after round.
   std::function<void()> tick = [this, period, shared]() {
     RunGuarded("timer", *shared);
     if (IsRunning()) {
       Every(period, *shared);
     }
   };
-  cluster_->loop().Schedule(period, std::move(tick), sym_);
+  cluster_->loop().Schedule(cluster_->SkewedDelay(id_, period), std::move(tick), sym_);
 }
 
 void Node::OnHandlerException(const std::string& context, const SimException& e) {

@@ -181,6 +181,64 @@ CassArtifacts* Build() {
   // equivalence partition keys on the span name.
   model.AddSpan({"coordinator.read", "StorageProxy.readRegular",
                  "coordinator read against the replica ring"});
+
+  // Workload-fuzzing grammar: RPC ops name their declared handler, node ops
+  // the class whose recovery logic the fault exercises (ctlint's
+  // grammar-op-unknown-target keeps both honest).
+  {
+    ctmodel::GrammarOpDecl op;
+    op.name = "cass.mutate";
+    op.kind = ctmodel::GrammarOpKind::kRpc;
+    op.target_method = "StorageProxy.performWrite";
+    op.rpc_verb = "mutate";
+    op.target_prefix = "cass";
+    op.args = {{"key", "fuzz%MAG%"}, {"val", "fz"}};
+    op.max_magnitude = 9;
+    op.weight = 3;
+    op.min_time_ms = 3500;
+    op.max_time_ms = 8000;
+    op.note = "extra write through an arbitrary coordinator";
+    model.AddGrammarOp(op);
+  }
+  {
+    ctmodel::GrammarOpDecl op;
+    op.name = "cass.hinted-mutate";
+    op.kind = ctmodel::GrammarOpKind::kRpc;
+    op.target_method = "StorageProxy.performWrite";
+    op.rpc_verb = "hintedMutate";
+    op.target_prefix = "cass";
+    op.args = {{"key", "fuzz%MAG%"}, {"val", "fz"}};
+    op.max_magnitude = 9;
+    op.weight = 3;
+    op.min_time_ms = 1500;
+    op.max_time_ms = 5000;
+    op.note = "blocking write whose endpoint dispatch straddles a gossip death";
+    model.AddGrammarOp(op);
+  }
+  {
+    ctmodel::GrammarOpDecl op;
+    op.name = "cass.kill-node";
+    op.kind = ctmodel::GrammarOpKind::kCrash;
+    op.target_class = "Gossiper";
+    op.target_prefix = "cass";
+    op.weight = 3;
+    op.min_time_ms = 1500;
+    op.max_time_ms = 3500;
+    op.note = "fail-stop a node; gossip marks it dead and hints accumulate";
+    model.AddGrammarOp(op);
+  }
+  {
+    ctmodel::GrammarOpDecl op;
+    op.name = "cass.decommission";
+    op.kind = ctmodel::GrammarOpKind::kShutdown;
+    op.target_class = "Gossiper";
+    op.target_prefix = "cass";
+    op.weight = 2;
+    op.min_time_ms = 2000;
+    op.max_time_ms = 9000;
+    op.note = "graceful leave announcing itself through gossip";
+    model.AddGrammarOp(op);
+  }
   return artifacts;
 }
 

@@ -125,6 +125,7 @@ HBaseArtifacts* Build() {
   add_method("HRegion", "openRegionRebalance");
   add_method("AssignmentManager", "assign");
   add_method("AssignmentManager", "move");
+  add_method("MasterRpcServices", "balance", /*entry=*/true);
   model.AddCallEdge({"HRegion.openRegion", "HRegion.openRegionRebalance",
                      ctmodel::CallKind::kStatic});
   // Assignments run inside the bootstrap and crash procedures; moves come
@@ -134,6 +135,9 @@ HBaseArtifacts* Build() {
   model.AddCallEdge({"ServerCrashProcedure.execute", "AssignmentManager.assign",
                      ctmodel::CallKind::kStatic});
   model.AddCallEdge({"LoadBalancer.balanceCluster", "AssignmentManager.move",
+                     ctmodel::CallKind::kStatic});
+  // The admin RPC drives the same balancer scan off-schedule.
+  model.AddCallEdge({"MasterRpcServices.balance", "LoadBalancer.balanceCluster",
                      ctmodel::CallKind::kStatic});
 
   auto& registry = ctlog::StatementRegistry::Instance();
@@ -235,6 +239,75 @@ HBaseArtifacts* Build() {
                  "metrics wrapper initialization over server state"});
   model.AddSpan({"rs.refresh-peers", "ReplicationZKWatcher.refreshPeers",
                  "replication peer list refresh from ZK"});
+
+  // Workload-fuzzing grammar: RPC ops name their declared handler, node ops
+  // the class whose recovery logic the fault exercises (ctlint's
+  // grammar-op-unknown-target keeps both honest).
+  {
+    ctmodel::GrammarOpDecl op;
+    op.name = "hbase.cluster-status";
+    op.kind = ctmodel::GrammarOpKind::kRpc;
+    op.target_method = "MasterRpcServices.getClusterStatus";
+    op.rpc_verb = "clusterStatus";
+    op.target_prefix = "hmaster";
+    op.weight = 2;
+    op.min_time_ms = 2000;
+    op.max_time_ms = 20000;
+    op.note = "status scan racing online-set mutations";
+    model.AddGrammarOp(op);
+  }
+  {
+    ctmodel::GrammarOpDecl op;
+    op.name = "hbase.expire-rs";
+    op.kind = ctmodel::GrammarOpKind::kRpc;
+    op.target_method = "ServerCrashProcedure.execute";
+    op.rpc_verb = "rsExpired";
+    op.target_prefix = "hmaster";
+    op.args = {{"rs", "%NODE%"}};
+    op.arg_prefix = "rserver";
+    op.weight = 2;
+    op.min_time_ms = 4000;
+    op.max_time_ms = 18000;
+    op.note = "forced session expiry: crash procedure against a live RS";
+    model.AddGrammarOp(op);
+  }
+  {
+    ctmodel::GrammarOpDecl op;
+    op.name = "hbase.force-balance";
+    op.kind = ctmodel::GrammarOpKind::kRpc;
+    op.target_method = "MasterRpcServices.balance";
+    op.rpc_verb = "balance";
+    op.target_prefix = "hmaster";
+    op.weight = 2;
+    op.min_time_ms = 3000;
+    op.max_time_ms = 18000;
+    op.note = "off-schedule balancer scan; races server-crash recovery";
+    model.AddGrammarOp(op);
+  }
+  {
+    ctmodel::GrammarOpDecl op;
+    op.name = "hbase.kill-rs";
+    op.kind = ctmodel::GrammarOpKind::kCrash;
+    op.target_class = "ServerCrashProcedure";
+    op.target_prefix = "rserver";
+    op.weight = 3;
+    op.min_time_ms = 4000;
+    op.max_time_ms = 18000;
+    op.note = "fail-stop an RS; regions reassign via the crash procedure";
+    model.AddGrammarOp(op);
+  }
+  {
+    ctmodel::GrammarOpDecl op;
+    op.name = "hbase.stop-rs";
+    op.kind = ctmodel::GrammarOpKind::kShutdown;
+    op.target_class = "ServerCrashProcedure";
+    op.target_prefix = "rserver";
+    op.weight = 2;
+    op.min_time_ms = 4000;
+    op.max_time_ms = 18000;
+    op.note = "graceful RS stop closing its ZK session first";
+    model.AddGrammarOp(op);
+  }
   return artifacts;
 }
 

@@ -562,6 +562,14 @@ void ResourceManager::AttemptFailed(const std::string& attempt_id) {
   // Release whatever the attempt still holds (list intentionally kept:
   // YARN-8649's stale-container-list substrate).
   for (const std::string& cid : it->second.containers) {
+    // The sweep completes each leftover container through the scheduler, so
+    // the YARN-9164 site also fires under the attempt-failure stack — the
+    // context the static enumeration predicts but the fixed script never
+    // drives (it takes a node loss while an AM holds containers). The id is
+    // read before the lookup: a master container erased by handleNodeLost is
+    // still on the attempt's list when the sweep walks it.
+    CT_FRAME("AbstractYarnScheduler.completeContainer");
+    CT_PRE_READ(artifacts_->points.rm_complete_container_site, cid);
     auto container_it = containers_.find(cid);
     if (container_it == containers_.end()) {
       continue;

@@ -104,6 +104,7 @@ ZkArtifacts* Build() {
   add_method("ZooKeeperServer", "loadData");
   add_method("SessionTracker", "createSession");
   add_method("SyncRequestProcessor", "snapshot");
+  add_method("FinalRequestProcessor", "processRequest", /*entry=*/true);
   // The peer main thread leads after election and replays the snapshot
   // before serving; sessions are minted on the request path; the sync
   // thread rolls snapshots between txn batches.
@@ -119,6 +120,9 @@ ZkArtifacts* Build() {
   model.AddCallEdge({"SyncRequestProcessor.run", "DataTree.createNode",
                      ctmodel::CallKind::kStatic});
   model.AddCallEdge({"PrepRequestProcessor.pRequest", "FollowerRequestProcessor.processRequest",
+                     ctmodel::CallKind::kStatic});
+  // sync routes the read through the processor chain before touching the tree.
+  model.AddCallEdge({"FinalRequestProcessor.processRequest", "DataTree.getData",
                      ctmodel::CallKind::kStatic});
 
   auto& registry = ctlog::StatementRegistry::Instance();
@@ -209,6 +213,79 @@ ZkArtifacts* Build() {
   // equivalence partition keys on the span name.
   model.AddSpan({"tree.get-znode", "DataTree.getData",
                  "znode read out of the data tree"});
+
+  // Workload-fuzzing grammar: RPC ops name their declared handler, node ops
+  // the class whose recovery logic the fault exercises (ctlint's
+  // grammar-op-unknown-target keeps both honest).
+  {
+    ctmodel::GrammarOpDecl op;
+    op.name = "zk.create";
+    op.kind = ctmodel::GrammarOpKind::kRpc;
+    op.target_method = "PrepRequestProcessor.pRequest";
+    op.rpc_verb = "create";
+    op.target_prefix = "zkpeer";
+    op.args = {{"path", "/fuzz/node-%MAG%"}, {"data", "fz"}};
+    op.max_magnitude = 4;
+    op.weight = 3;
+    op.min_time_ms = 1000;
+    op.max_time_ms = 8000;
+    op.note = "create sent to an arbitrary peer; followers forward to the leader";
+    model.AddGrammarOp(op);
+  }
+  {
+    ctmodel::GrammarOpDecl op;
+    op.name = "zk.get";
+    op.kind = ctmodel::GrammarOpKind::kRpc;
+    op.target_method = "DataTree.getData";
+    op.rpc_verb = "get";
+    op.target_prefix = "zkpeer";
+    op.args = {{"path", "/fuzz/node-%MAG%"}};
+    op.max_magnitude = 4;
+    op.weight = 2;
+    op.min_time_ms = 1500;
+    op.max_time_ms = 9000;
+    op.note = "read against a replica that may not have replicated yet";
+    model.AddGrammarOp(op);
+  }
+  {
+    ctmodel::GrammarOpDecl op;
+    op.name = "zk.sync-read";
+    op.kind = ctmodel::GrammarOpKind::kRpc;
+    op.target_method = "FinalRequestProcessor.processRequest";
+    op.rpc_verb = "sync";
+    op.target_prefix = "zkpeer";
+    op.args = {{"path", "/fuzz/node-%MAG%"}};
+    op.max_magnitude = 4;
+    op.weight = 2;
+    op.min_time_ms = 1500;
+    op.max_time_ms = 9000;
+    op.note = "sync'd read through the full request-processor chain";
+    model.AddGrammarOp(op);
+  }
+  {
+    ctmodel::GrammarOpDecl op;
+    op.name = "zk.kill-peer";
+    op.kind = ctmodel::GrammarOpKind::kCrash;
+    op.target_class = "QuorumPeer";
+    op.target_prefix = "zkpeer";
+    op.weight = 3;
+    op.min_time_ms = 1500;
+    op.max_time_ms = 7000;
+    op.note = "fail-stop a peer; leader churn when the ordinal hits the leader";
+    model.AddGrammarOp(op);
+  }
+  {
+    ctmodel::GrammarOpDecl op;
+    op.name = "zk.stop-peer";
+    op.kind = ctmodel::GrammarOpKind::kShutdown;
+    op.target_class = "QuorumPeer";
+    op.target_prefix = "zkpeer";
+    op.weight = 1;
+    op.min_time_ms = 1500;
+    op.max_time_ms = 7000;
+    op.note = "graceful peer stop; heartbeats cease without a crash record";
+    model.AddGrammarOp(op);
+  }
   return artifacts;
 }
 

@@ -131,6 +131,66 @@ TEST(ClusterFaults, PartitionHealRoundTrip) {
   EXPECT_EQ(cluster.dropped_messages(), 0u);
 }
 
+TEST(ClusterFaults, OneWayPartitionCutsOnlyOutboundTraffic) {
+  Cluster cluster(7);
+  auto* a = cluster.AddNode<ProbeNode>("a:1");
+  auto* b = cluster.AddNode<ProbeNode>("b:1");
+  cluster.StartAll();
+  FaultPlan plan;
+  PartitionDirective half_open;
+  half_open.start_ms = 0;
+  half_open.heal_ms = 100;
+  half_open.group = {"b:1"};
+  half_open.one_way = true;
+  plan.partitions.push_back(half_open);
+  cluster.InstallFaultPlan(plan);
+  EXPECT_TRUE(cluster.LinkCut("b:1", "a:1"));   // outbound from the group: cut
+  EXPECT_FALSE(cluster.LinkCut("a:1", "b:1"));  // inbound still flows
+  b->Send("a:1", "ping");  // dropped: b can hear but not answer
+  a->Send("b:1", "ping");  // delivered
+  cluster.loop().Schedule(150, [&] { b->Send("a:1", "ping"); });  // healed
+  cluster.loop().RunToCompletion();
+  EXPECT_EQ(a->pings_, 1);
+  EXPECT_EQ(b->pings_, 1);
+  EXPECT_EQ(cluster.plan_dropped_messages(), 1u);
+}
+
+TEST(ClusterFaults, TimerSkewStretchesOnlyTheSkewedNodesClock) {
+  Cluster cluster(7);
+  auto* a = cluster.AddNode<ProbeNode>("a:1");
+  auto* b = cluster.AddNode<ProbeNode>("b:1");
+  cluster.StartAll();
+  FaultPlan plan;
+  plan.timer_skew_permille["b:1"] = 2000;  // b's clock runs at half speed
+  cluster.InstallFaultPlan(plan);
+  std::vector<Time> a_fired, b_fired;
+  a->After(100, [&] { a_fired.push_back(cluster.loop().Now()); });
+  b->After(100, [&] { b_fired.push_back(cluster.loop().Now()); });
+  cluster.loop().RunToCompletion();
+  ASSERT_EQ(a_fired.size(), 1u);
+  ASSERT_EQ(b_fired.size(), 1u);
+  EXPECT_EQ(a_fired[0], 100u);  // honest clock: fires on time
+  EXPECT_EQ(b_fired[0], 200u);  // skewed: the same request lands twice as late
+}
+
+TEST(ClusterFaults, TimerSkewCompoundsAcrossEveryRearms) {
+  Cluster cluster(7);
+  auto* a = cluster.AddNode<ProbeNode>("a:1");
+  auto* b = cluster.AddNode<ProbeNode>("b:1");
+  cluster.StartAll();
+  FaultPlan plan;
+  plan.timer_skew_permille["b:1"] = 2000;
+  cluster.InstallFaultPlan(plan);
+  std::vector<Time> a_ticks, b_ticks;
+  a->Every(50, [&] { a_ticks.push_back(cluster.loop().Now()); });
+  b->Every(50, [&] { b_ticks.push_back(cluster.loop().Now()); });
+  cluster.loop().RunFor(400);
+  // Each re-arm re-applies the skew, so the drift accumulates round after
+  // round instead of staying a constant offset.
+  EXPECT_EQ(a_ticks, (std::vector<Time>{50, 100, 150, 200, 250, 300, 350, 400}));
+  EXPECT_EQ(b_ticks, (std::vector<Time>{100, 200, 300, 400}));
+}
+
 TEST(ClusterFaults, PlanPartitionDirectivesApplyAtTheDeclaredTimes) {
   Cluster cluster(7);
   auto* a = cluster.AddNode<ProbeNode>("a:1");

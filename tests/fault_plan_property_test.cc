@@ -44,15 +44,21 @@ std::vector<std::unique_ptr<ctcore::SystemUnderTest>> AllSystems() {
   return systems;
 }
 
-// A random plan drawn from one Rng stream. The partition victim is kept as
-// an index — node ids differ per system — and materialized against the
-// run's node list.
+// A random plan drawn from one Rng stream. The partition/skew victims are
+// kept as indices — node ids differ per system — and materialized against
+// the run's node list. Half the partitions are one-way and half the plans
+// carry a timer-skewed node, so the determinism sweep covers both extended
+// directives.
 struct PlannedFaults {
   FaultPlan plan;
   uint64_t victim_index = 0;
   bool has_partition = false;
+  bool one_way = false;
   uint64_t partition_start = 0;
   uint64_t partition_len = 0;
+  bool has_skew = false;
+  uint64_t skew_index = 0;
+  int skew_permille = 1000;
 };
 
 PlannedFaults DrawPlan(ctcommon::Rng& rng) {
@@ -66,6 +72,12 @@ PlannedFaults DrawPlan(ctcommon::Rng& rng) {
     drawn.partition_start = rng.Uniform(0, 2000);
     drawn.partition_len = rng.Uniform(200, 3000);
     drawn.victim_index = rng.Uniform(0, 1 << 16);  // reduced per run
+    drawn.one_way = rng.Chance(0.5);
+  }
+  drawn.has_skew = rng.Chance(0.5);
+  if (drawn.has_skew) {
+    drawn.skew_index = rng.Uniform(0, 1 << 16);
+    drawn.skew_permille = static_cast<int>(rng.Uniform(500, 2500));
   }
   return drawn;
 }
@@ -78,15 +90,22 @@ uint64_t TracedRun(const ctcore::SystemUnderTest& system, const PlannedFaults& d
   ctsim::TraceRecorder recorder;
   cluster.set_trace_recorder(&recorder);
   FaultPlan plan = drawn.plan;
-  if (drawn.has_partition) {
-    std::vector<std::string> eligible;
-    for (ctsim::Node* node : cluster.nodes()) {
-      if (!node->workload_driver()) {
-        eligible.push_back(node->id());
-      }
+  std::vector<std::string> eligible;
+  for (ctsim::Node* node : cluster.nodes()) {
+    if (!node->workload_driver()) {
+      eligible.push_back(node->id());
     }
-    plan.partitions.push_back({drawn.partition_start, drawn.partition_start + drawn.partition_len,
-                               {eligible[drawn.victim_index % eligible.size()]}});
+  }
+  if (drawn.has_partition) {
+    ctsim::PartitionDirective directive;
+    directive.start_ms = drawn.partition_start;
+    directive.heal_ms = drawn.partition_start + drawn.partition_len;
+    directive.group = {eligible[drawn.victim_index % eligible.size()]};
+    directive.one_way = drawn.one_way;
+    plan.partitions.push_back(directive);
+  }
+  if (drawn.has_skew) {
+    plan.timer_skew_permille[eligible[drawn.skew_index % eligible.size()]] = drawn.skew_permille;
   }
   cluster.InstallFaultPlan(plan);
   ctcore::Executor::Execute(*run, /*baseline=*/nullptr);
