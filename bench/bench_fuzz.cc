@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
   ctbench::PrintRule();
   const double speedup = parallel_total > 0 ? serial_total / parallel_total : 0;
   const int hardware_threads = ctcore::ResolveJobs(0);
-  const bool enforce_speedup = hardware_threads >= 4;
+  const bool enforce_speedup = ctbench::EnforceSpeedupBar(hardware_threads);
   std::printf("jobs=4 speedup over all systems: %.2fx  (bar: >= 2x, %s on %d hardware "
               "thread(s))\n",
               speedup, enforce_speedup ? "enforced" : "not enforced", hardware_threads);

@@ -6,6 +6,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -37,6 +39,24 @@ inline std::vector<std::unique_ptr<ctcore::SystemUnderTest>> AllSystems() {
   return systems;
 }
 
+// Whether a bench should fail (not merely report) a missed parallel-speedup
+// or overhead bar. Auto-detected from hardware concurrency — a 1-core CI
+// runner cannot demonstrate a 2x jobs=4 speedup, so the bar is advisory
+// there — with a CRASHTUNER_ENFORCE_SPEEDUP env override: "1" forces the
+// bar on (the multi-core CI lane sets this so the bar cannot silently relax
+// if hardware detection misfires), "0" forces it off (local debugging on a
+// loaded laptop).
+inline bool EnforceSpeedupBar(int hardware_threads) {
+  const char* env = std::getenv("CRASHTUNER_ENFORCE_SPEEDUP");
+  if (env != nullptr && env[0] == '1') {
+    return true;
+  }
+  if (env != nullptr && env[0] == '0') {
+    return false;
+  }
+  return hardware_threads >= 4;
+}
+
 inline void PrintHeader(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
@@ -50,16 +70,18 @@ inline void PrintRule() {
 // Flags shared by the bench binaries: `--jobs N` (campaign worker threads,
 // 0 = hardware concurrency), `--speedup` (time the campaign sequential vs
 // parallel), `--json FILE` (machine-readable results for CI),
-// `--metrics-out FILE` (campaign metrics snapshot, see src/obs/snapshot.h)
-// and `--trace-out FILE` (Chrome-trace export for Perfetto). The two
-// observability flags also accept `--flag=value` form. Anything else stays
-// positional for the bench's own arguments.
+// `--metrics-out FILE` (campaign metrics snapshot, see src/obs/snapshot.h),
+// `--trace-out FILE` (Chrome-trace export for Perfetto) and
+// `--dossier-dir DIR` (one crashtuner-dossier-v1 JSON per failing run, see
+// src/obs/dossier.h). The observability flags also accept `--flag=value`
+// form. Anything else stays positional for the bench's own arguments.
 struct BenchFlags {
   int jobs = 1;
   bool speedup = false;
   std::string json_path;
   std::string metrics_out;
   std::string trace_out;
+  std::string dossier_dir;
   std::vector<std::string> positional;
 };
 
@@ -84,6 +106,10 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
       flags.trace_out = argv[++i];
     } else if (starts_with(arg, "--trace-out=")) {
       flags.trace_out = arg.substr(std::string("--trace-out=").size());
+    } else if (arg == "--dossier-dir" && i + 1 < argc) {
+      flags.dossier_dir = argv[++i];
+    } else if (starts_with(arg, "--dossier-dir=")) {
+      flags.dossier_dir = arg.substr(std::string("--dossier-dir=").size());
     } else {
       flags.positional.push_back(arg);
     }
@@ -99,9 +125,12 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
 class BenchObservation {
  public:
   explicit BenchObservation(const BenchFlags& flags)
-      : metrics_out_(flags.metrics_out), trace_out_(flags.trace_out) {}
+      : metrics_out_(flags.metrics_out), trace_out_(flags.trace_out),
+        dossier_dir_(flags.dossier_dir) {}
 
-  bool enabled() const { return !metrics_out_.empty() || !trace_out_.empty(); }
+  bool enabled() const {
+    return !metrics_out_.empty() || !trace_out_.empty() || !dossier_dir_.empty();
+  }
 
   // A fresh observer labeled `name` (duplicates get "#2", "#3", ... so
   // benches that run the same system twice keep both campaigns). Null when
@@ -136,12 +165,34 @@ class BenchObservation {
       }
       ok = writer.WriteFile(trace_out_) && ok;
     }
+    if (!dossier_dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(dossier_dir_, ec);
+      if (ec) {
+        return false;
+      }
+      for (const auto& [label, observer] : observers_) {
+        for (const ctobs::Dossier& dossier : observer->dossiers()) {
+          const std::filesystem::path path =
+              std::filesystem::path(dossier_dir_) /
+              (label + "-slot" + std::to_string(dossier.slot) + ".json");
+          std::ofstream out(path);
+          if (!out) {
+            ok = false;
+            continue;
+          }
+          out << dossier.ToJson() << "\n";
+          ok = static_cast<bool>(out) && ok;
+        }
+      }
+    }
     return ok;
   }
 
  private:
   std::string metrics_out_;
   std::string trace_out_;
+  std::string dossier_dir_;
   std::map<std::string, int> name_uses_;
   std::vector<std::pair<std::string, std::unique_ptr<ctobs::CampaignObserver>>> observers_;
 };

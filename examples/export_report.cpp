@@ -19,7 +19,10 @@
 //                              guided workload-fuzzing phase per system
 //                              (reports gain a "fuzz" section);
 //   --corpus-dir DIR           save each system's fuzz corpus under
-//                              DIR/<system>/ (implies nothing without --fuzz).
+//                              DIR/<system>/ (implies nothing without --fuzz);
+//   --dossier-dir DIR          observe the campaigns and write one
+//                              crashtuner-dossier-v1 JSON per failing run as
+//                              DIR/<system>-slot<N>.json (src/obs/dossier.h).
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -29,6 +32,7 @@
 #include "src/core/crashtuner.h"
 #include "src/core/report_writer.h"
 #include "src/fuzz/fuzz_phase.h"
+#include "src/obs/observer.h"
 #include "src/systems/cassandra/cass_system.h"
 #include "src/systems/hbase/hbase_system.h"
 #include "src/systems/hdfs/hdfs_system.h"
@@ -37,16 +41,28 @@
 
 namespace {
 
-void Export(const ctcore::SystemUnderTest& system, const ctcore::DriverOptions& options,
+void Export(const ctcore::SystemUnderTest& system, const ctcore::DriverOptions& base_options,
             const std::filesystem::path& directory, int fuzz_runs,
-            const std::filesystem::path& corpus_dir) {
+            const std::filesystem::path& corpus_dir,
+            const std::filesystem::path& dossier_dir) {
   ctcore::CrashTunerDriver driver;
+  ctcore::DriverOptions options = base_options;
+  ctobs::CampaignObserver observer;
+  if (!dossier_dir.empty()) {
+    options.observer = &observer;
+  }
   ctcore::SystemReport report = driver.Run(system, options);
 
   std::string stem = report.system;
   for (char& c : stem) {
     if (c == '/' || c == ' ') {
       c = '_';
+    }
+  }
+  if (!dossier_dir.empty()) {
+    for (const ctobs::Dossier& dossier : observer.dossiers()) {
+      std::ofstream(dossier_dir / (stem + "-slot" + std::to_string(dossier.slot) + ".json"))
+          << dossier.ToJson() << "\n";
     }
   }
   if (fuzz_runs > 0) {
@@ -88,6 +104,7 @@ int main(int argc, char** argv) {
   int scale = 1;
   int fuzz_runs = 0;
   std::filesystem::path corpus_dir;
+  std::filesystem::path dossier_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--representative") {
@@ -106,6 +123,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--corpus-dir" && i + 1 < argc) {
       corpus_dir = argv[++i];
+    } else if (arg == "--dossier-dir" && i + 1 < argc) {
+      dossier_dir = argv[++i];
     } else if (arg == "--scale" && i + 1 < argc) {
       scale = std::atoi(argv[++i]);
       if (scale < 1) {
@@ -116,13 +135,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: export_report [DIR] [--representative | "
                    "--validate-representative] [--static-only] [--jobs N] [--scale N] "
-                   "[--fuzz N] [--corpus-dir DIR]\n");
+                   "[--fuzz N] [--corpus-dir DIR] [--dossier-dir DIR]\n");
       return 2;
     } else {
       directory = arg;
     }
   }
   std::filesystem::create_directories(directory);
+  if (!dossier_dir.empty()) {
+    std::filesystem::create_directories(dossier_dir);
+  }
 
   ctyarn::YarnSystem yarn;
   cthdfs::HdfsSystem hdfs;
@@ -132,7 +154,7 @@ int main(int argc, char** argv) {
   for (ctcore::SystemUnderTest* system :
        std::initializer_list<ctcore::SystemUnderTest*>{&yarn, &hdfs, &hbase, &zk, &cass}) {
     system->set_scale(scale);
-    Export(*system, options, directory, fuzz_runs, corpus_dir);
+    Export(*system, options, directory, fuzz_runs, corpus_dir, dossier_dir);
   }
   return 0;
 }

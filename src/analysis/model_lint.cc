@@ -293,6 +293,39 @@ LintResult LintModel(const ctmodel::ProgramModel& model) {
                  window.point);
   }
 
+  // Component attribution must be grounded both ways: a span's component must
+  // name a class that can actually appear on a stack (otherwise `ctstat --top`
+  // charges dwell to a phantom role), and every replicated role the fuzz
+  // grammar kills or shuts down must own at least one component span
+  // (otherwise its recovery sweeps are invisible to the profiler).
+  std::set<std::string> span_components;
+  for (size_t i = 0; i < model.spans().size(); ++i) {
+    const ctmodel::SpanDecl& span = model.spans()[i];
+    if (span.component.empty()) {
+      continue;
+    }
+    span_components.insert(span.component);
+    if (model.MethodsOf(span.component).empty()) {
+      report("component-without-span",
+             "span#" + std::to_string(i) + " ('" + span.name + "')",
+             "component '" + span.component + "' names no declared class with "
+             "methods — dwell would be attributed to a role that cannot appear "
+             "on any stack");
+    }
+  }
+  for (const auto& op : model.grammar_ops()) {
+    if (op.kind != ctmodel::GrammarOpKind::kCrash &&
+        op.kind != ctmodel::GrammarOpKind::kShutdown) {
+      continue;
+    }
+    if (op.target_class.empty() || span_components.count(op.target_class) > 0) {
+      continue;
+    }
+    report("component-without-span", "grammar-op '" + op.name + "'",
+           "killed role '" + op.target_class + "' has no component span — its "
+           "recovery sweeps would be invisible to ctstat --top");
+  }
+
   // Scale invariance: declarations must not embed concrete node indices or
   // host:port instances. The --scale knob multiplies replicated roles, so a
   // decl naming one concrete member ("rserver3.open") matches only the first

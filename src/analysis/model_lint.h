@@ -63,6 +63,14 @@
 //                        method has no SpanDecl: its injection phase would
 //                        render in campaign traces under a raw frame string
 //                        instead of the model's vocabulary
+//   component-without-span
+//                        span declaring a component that names no declared
+//                        class with methods (the profiler would attribute
+//                        dwell to a role that cannot appear on any stack), or
+//                        a replicated role the fuzz grammar kills/shuts down
+//                        (a crash/shutdown op's target_class) with no
+//                        component span at all — its recovery sweeps would be
+//                        invisible to `ctstat --top`
 //
 // `tools/ctlint` runs this over all five shipped models in CI.
 #ifndef SRC_ANALYSIS_MODEL_LINT_H_

@@ -39,6 +39,27 @@ RunOutcome Executor::Execute(WorkloadRun& run, const OracleBaseline* baseline) {
   const ctsim::Time hang_deadline = start + expected * kHangFactor;
 
   ctobs::RunObserver* observer = &run.context().observer();
+  if (observer->enabled()) {
+    // Causal-flow observation: the cluster stamps posted messages with the
+    // current span id and reports every delivery edge into the run's flow
+    // recorder. Installed only for observed runs — with no hook the cluster
+    // does no flow work at all — and passive by construction (no RNG, no
+    // scheduling), so the trace hash and SystemReport never move.
+    cluster.SetFlowHooks(
+        [observer] { return observer->current_span_id(); },
+        [observer, &loop](uint64_t flow_id, uint64_t parent_flow, uint64_t origin_span,
+                          const ctsim::Message& message) {
+          ctobs::FlowRecord record;
+          record.id = flow_id;
+          record.parent = parent_flow;
+          record.origin_span = origin_span;
+          record.method = message.method.str();
+          record.from = message.from.str();
+          record.to = message.to.str();
+          record.sim_ms = loop.Now();
+          observer->flows().Record(std::move(record));
+        });
+  }
   {
     ctobs::ScopedSpan boot(observer, &loop, "boot", "phase");
     cluster.StartAll();

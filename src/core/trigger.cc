@@ -1,6 +1,7 @@
 #include "src/core/trigger.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <optional>
@@ -163,6 +164,59 @@ InjectionResult FaultInjectionTester::TestPoint(const ctrt::DynamicPoint& point,
       metrics.Add("runs.replayed");
     }
     metrics.Add("trace.events", recorder.trace().size());
+    if (result.outcome.IsBug()) {
+      // Failure dossier: the canonical signature of this failing run —
+      // everything downstream dedup clustering keys on and a replay tool
+      // needs to re-execute exactly this run.
+      ctobs::Dossier dossier;
+      dossier.system = system_->name();
+      dossier.slot = trace_slot;
+      dossier.seed = seed;
+      dossier.failed_invariant = result.outcome.PrimarySymptom();
+      if (!result.outcome.uncommon_exceptions.empty()) {
+        dossier.failed_invariant += ": " + result.outcome.uncommon_exceptions.front();
+      }
+      if (result.injected) {
+        ctobs::DossierPoint injected;
+        injected.point_id = point.point_id;
+        injected.call_string = point.stack_key;
+        injected.target_node = result.target_node;
+        injected.mode = mode_ == InjectionMode::kNetworkFault
+                            ? "partition"
+                            : (kind == ctanalysis::CrashPointKind::kPreRead ? "shutdown"
+                                                                            : "crash");
+        dossier.injected_points.push_back(std::move(injected));
+      }
+      dossier.recovery_phase_span =
+          result.injected ? injection_span_name
+                          : (result.outcome.finished ? "recovery-check" : "workload");
+      char hash_prefix[16];
+      std::snprintf(hash_prefix, sizeof(hash_prefix), "%08llx",
+                    static_cast<unsigned long long>(result.trace_hash >> 32));
+      dossier.trace_hash_prefix = hash_prefix;
+      const ctsim::FaultPlan& plan = cluster.fault_plan();
+      std::string fault_summary;
+      auto append_part = [&fault_summary](const std::string& part) {
+        if (!fault_summary.empty()) {
+          fault_summary += " ";
+        }
+        fault_summary += part;
+      };
+      if (!plan.default_link.Inert() || !plan.links.empty()) {
+        append_part("link-faults=" +
+                    std::to_string(plan.links.size() + (plan.default_link.Inert() ? 0 : 1)));
+      }
+      if (cluster.partition_epochs() > 0) {
+        append_part("partition-epochs=" + std::to_string(cluster.partition_epochs()));
+      }
+      if (!plan.timer_skew_permille.empty()) {
+        append_part("timer-skew=" + std::to_string(plan.timer_skew_permille.size()));
+      }
+      dossier.fault_plan = fault_summary;
+      dossier.workload =
+          system_->workload_name() + " x" + std::to_string(system_->default_workload_size());
+      observer_->AbsorbDossier(trace_slot, std::move(dossier));
+    }
     observer_->AbsorbRun(trace_slot, *run_observer);
   }
   // No reset needed: the tracer — armed trigger and all — dies with the run.

@@ -153,11 +153,21 @@ struct NetworkFaultWindowDecl {
 // The campaign observer labels each injection span "inject:<name>" so traces
 // read in the system's vocabulary instead of raw frame strings. ctlint's
 // window-without-span-anchor check requires every multi-crash pair point and
-// network-fault window anchor to resolve to a declared span.
+// network-fault window anchor to resolve to a declared span. A span may also
+// name the `component` (a declared role class, e.g. "QuorumPeer") whose hot
+// path it covers: component spans are what the virtual-time profiler
+// attributes dwell to, and ctlint's component-without-span check requires
+// the class to exist and every fuzz-killable role to have one.
 struct SpanDecl {
-  std::string name;    // e.g. "rm.register-node"
-  std::string method;  // anchor frame, "Class.method"
-  std::string note;    // what the phase covers (docs only)
+  SpanDecl() = default;
+  SpanDecl(std::string name, std::string method, std::string note,
+           std::string component = "")
+      : name(std::move(name)), method(std::move(method)), note(std::move(note)),
+        component(std::move(component)) {}
+  std::string name;       // e.g. "rm.register-node"
+  std::string method;     // anchor frame, "Class.method"
+  std::string note;       // what the phase covers (docs only)
+  std::string component;  // role class whose hot path this span covers ("")
 };
 
 // How a fuzz-grammar op acts on the running cluster.

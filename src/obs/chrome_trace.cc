@@ -65,10 +65,33 @@ void ChromeTraceWriter::AddCompleteEvent(int pid, int tid, const SpanEvent& even
       << ",\"ts\":" << FormatUs(ts_us) << ",\"dur\":" << FormatUs(dur_us) << ",\"args\":{";
   out << "\"wall_ms\":" << FormatUs(static_cast<double>(event.wall_end_ns - event.wall_begin_ns) /
                                     1e6);
+  if (event.id != 0) {
+    out << ",\"span_id\":\"" << event.id << "\",\"parent_span\":\"" << event.parent_id << "\"";
+  }
+  if (!event.component.empty()) {
+    out << ",\"component\":\"" << EscapeJson(event.component) << "\"";
+  }
   for (const auto& [key, value] : event.args) {
     out << ",\"" << EscapeJson(key) << "\":\"" << EscapeJson(value) << "\"";
   }
   out << "}}";
+  events_.push_back(out.str());
+}
+
+void ChromeTraceWriter::AddFlowStart(int pid, int tid, const std::string& name,
+                                     uint64_t flow_id, double ts_us) {
+  std::ostringstream out;
+  out << "{\"name\":\"" << EscapeJson(name) << "\",\"cat\":\"flow\",\"ph\":\"s\",\"pid\":" << pid
+      << ",\"tid\":" << tid << ",\"id\":" << flow_id << ",\"ts\":" << FormatUs(ts_us) << "}";
+  events_.push_back(out.str());
+}
+
+void ChromeTraceWriter::AddFlowFinish(int pid, int tid, const std::string& name,
+                                      uint64_t flow_id, double ts_us) {
+  std::ostringstream out;
+  out << "{\"name\":\"" << EscapeJson(name) << "\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\","
+      << "\"pid\":" << pid << ",\"tid\":" << tid << ",\"id\":" << flow_id
+      << ",\"ts\":" << FormatUs(ts_us) << "}";
   events_.push_back(out.str());
 }
 

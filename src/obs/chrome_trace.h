@@ -26,6 +26,14 @@ class ChromeTraceWriter {
   void AddCompleteEvent(int pid, int tid, const SpanEvent& event, double ts_us,
                         double dur_us);
 
+  // Perfetto flow arrow: a "s" (start) event at the causing slice and a
+  // matching "f" (finish, bp:"e") event at the caused slice, linked by
+  // `flow_id`. Perfetto draws these as arrows between the enclosing slices.
+  void AddFlowStart(int pid, int tid, const std::string& name, uint64_t flow_id,
+                    double ts_us);
+  void AddFlowFinish(int pid, int tid, const std::string& name, uint64_t flow_id,
+                     double ts_us);
+
   std::string ToJson() const;
   bool WriteFile(const std::string& path) const;
 

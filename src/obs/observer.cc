@@ -1,14 +1,73 @@
 #include "src/obs/observer.h"
 
+#include <algorithm>
+
 #include "src/obs/chrome_trace.h"
 #include "src/obs/snapshot.h"
 
 namespace ctobs {
 
+void RunObserver::BeginSpan(SpanEvent* event) {
+  event->id = ++next_span_id_;
+  event->parent_id = open_spans_.empty() ? 0 : open_spans_.back().id;
+  std::string path =
+      open_spans_.empty() ? event->name : open_spans_.back().path + "/" + event->name;
+  if (!event->component.empty()) {
+    // Charge all virtual time since the previous component-span open to this
+    // component: the dwell totals partition the run's clock advance across
+    // the instrumented sweeps, deterministically.
+    const uint64_t now = event->sim_begin_ms;
+    const uint64_t delta = now >= last_dwell_mark_ms_ ? now - last_dwell_mark_ms_ : 0;
+    metrics_.Add("component." + event->name + ".dwell_ms", delta);
+    metrics_.Add("component." + event->name + ".events");
+    last_dwell_mark_ms_ = now;
+  }
+  open_spans_.push_back(OpenSpan{event->id, std::move(path)});
+}
+
+void RunObserver::EndSpan(SpanEvent event) {
+  std::string path = event.name;
+  if (!open_spans_.empty() && open_spans_.back().id == event.id) {
+    path = std::move(open_spans_.back().path);
+    open_spans_.pop_back();
+  }
+  SpanAggregate& aggregate = span_tree_[path];
+  if (aggregate.count == 0) {
+    aggregate.name = event.name;
+    aggregate.component = event.component;
+  }
+  ++aggregate.count;
+  aggregate.sim_ms += event.sim_duration_ms();
+  spans_.Append(std::move(event));
+}
+
 void CampaignObserver::AbsorbRun(int slot, const RunObserver& run) {
   std::lock_guard<std::mutex> lock(mu_);
-  registry_.shard(slot) = run.metrics();
+  MetricsShard shard = run.metrics();
+  if (run.spans().dropped() > 0) {
+    shard.Add("spans.dropped", run.spans().dropped());
+  }
+  registry_.shard(slot) = std::move(shard);
   spans_by_slot_[slot] = run.spans().events();
+  span_tree_by_slot_[slot] = run.span_tree();
+  if (!run.flows().empty()) {
+    flows_by_slot_[slot] = run.flows();
+  }
+}
+
+void CampaignObserver::AbsorbDossier(int slot, Dossier dossier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dossiers_by_slot_[slot] = std::move(dossier);
+}
+
+std::vector<Dossier> CampaignObserver::dossiers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Dossier> out;
+  out.reserve(dossiers_by_slot_.size());
+  for (const auto& [slot, dossier] : dossiers_by_slot_) {
+    out.push_back(dossier);
+  }
+  return out;
 }
 
 int CampaignObserver::runs() const {
@@ -27,9 +86,14 @@ SystemMetrics CampaignObserver::Finalize() const {
   // Fold spans into per-phase sim-time histograms, walking slots in index
   // order; wall durations go into the nondeterministic sidecar maps. Model-
   // named injection spans share one "phase.injection" histogram and keep
-  // their identity as per-span counters.
+  // their identity as per-span counters. Component spans stay out of the
+  // phase histograms — they live in the span tree and the component.*
+  // dwell counters instead.
   for (const auto& [slot, events] : spans_by_slot_) {
     for (const SpanEvent& event : events) {
+      if (event.category == "component") {
+        continue;
+      }
       if (event.category == "injection") {
         out.metrics.Observe("phase.injection", event.sim_duration_ms());
         out.metrics.Add("span." + event.name);
@@ -38,6 +102,49 @@ SystemMetrics CampaignObserver::Finalize() const {
         out.metrics.Observe("phase." + event.name, event.sim_duration_ms());
         out.phase_wall_seconds[event.name] += event.wall_seconds();
       }
+    }
+  }
+  // Merge per-slot span trees in slot order; the path keys give a stable
+  // lexicographic order in which parents precede their children.
+  std::map<std::string, SpanAggregate> merged_tree;
+  for (const auto& [slot, tree] : span_tree_by_slot_) {
+    for (const auto& [path, aggregate] : tree) {
+      SpanAggregate& into = merged_tree[path];
+      if (into.count == 0) {
+        into.name = aggregate.name;
+        into.component = aggregate.component;
+      }
+      into.count += aggregate.count;
+      into.sim_ms += aggregate.sim_ms;
+    }
+  }
+  std::map<std::string, int> index_of_path;
+  for (const auto& [path, aggregate] : merged_tree) {
+    SpanTreeNode node;
+    node.path = path;
+    node.name = aggregate.name;
+    node.component = aggregate.component;
+    node.count = aggregate.count;
+    node.sim_ms = aggregate.sim_ms;
+    if (path.size() > aggregate.name.size()) {
+      const std::string parent_path =
+          path.substr(0, path.size() - aggregate.name.size() - 1);
+      auto found = index_of_path.find(parent_path);
+      node.parent = found != index_of_path.end() ? found->second : -1;
+    }
+    index_of_path[path] = static_cast<int>(out.span_tree.size());
+    out.span_tree.push_back(std::move(node));
+  }
+  // Merge flow statistics in slot order (sums and a max; order-insensitive,
+  // but keep the deterministic walk anyway).
+  for (const auto& [slot, flows] : flows_by_slot_) {
+    out.flows.messages += flows.messages();
+    out.flows.roots += flows.roots();
+    out.flows.span_resolved += flows.span_resolved();
+    out.flows.max_depth = std::max(out.flows.max_depth, flows.max_depth());
+    out.flows.records_dropped += flows.dropped();
+    for (const auto& [method, count] : flows.per_method()) {
+      out.flows.per_method[method] += count;
     }
   }
   for (const SpanEvent& event : driver_observer_.spans().events()) {
@@ -72,6 +179,25 @@ void CampaignObserver::AppendChromeTrace(ChromeTraceWriter* writer, int pid,
     for (const SpanEvent& event : events) {
       writer->AddCompleteEvent(pid, tid, event, static_cast<double>(event.sim_begin_ms) * 1e3,
                                static_cast<double>(event.sim_duration_ms()) * 1e3);
+    }
+  }
+  // Perfetto flow arrows: for every retained delivery caused by another
+  // retained delivery, a start event at the parent's timestamp and a finish
+  // at the child's. Flow ids are sequential from 1 and recorded in order, so
+  // a parent id within the retained range is always present.
+  for (const auto& [slot, flows] : flows_by_slot_) {
+    const int tid = slot + 1;
+    for (const FlowRecord& record : flows.records()) {
+      if (record.parent == 0 || record.parent > flows.records().size()) {
+        continue;
+      }
+      const FlowRecord& parent = flows.records()[record.parent - 1];
+      const uint64_t flow_id =
+          (static_cast<uint64_t>(slot + 1) << 32) | record.id;
+      writer->AddFlowStart(pid, tid, record.method, flow_id,
+                           static_cast<double>(parent.sim_ms) * 1e3);
+      writer->AddFlowFinish(pid, tid, record.method, flow_id,
+                            static_cast<double>(record.sim_ms) * 1e3);
     }
   }
 }

@@ -67,6 +67,30 @@ void AppendWallMap(std::ostringstream& out, const std::map<std::string, double>&
   out << "}";
 }
 
+void AppendSpanTree(std::ostringstream& out, const std::vector<SpanTreeNode>& tree) {
+  out << "[";
+  for (size_t i = 0; i < tree.size(); ++i) {
+    const SpanTreeNode& node = tree[i];
+    out << (i > 0 ? "," : "") << "{\"path\":\"" << EscapeJson(node.path) << "\",\"name\":\""
+        << EscapeJson(node.name) << "\",\"component\":\"" << EscapeJson(node.component)
+        << "\",\"parent\":" << node.parent << ",\"count\":" << node.count
+        << ",\"sim_ms\":" << node.sim_ms << "}";
+  }
+  out << "]";
+}
+
+void AppendFlows(std::ostringstream& out, const FlowStats& flows) {
+  out << "{\"messages\":" << flows.messages << ",\"roots\":" << flows.roots
+      << ",\"span_resolved\":" << flows.span_resolved << ",\"max_depth\":" << flows.max_depth
+      << ",\"records_dropped\":" << flows.records_dropped << ",\"per_method\":{";
+  bool first = true;
+  for (const auto& [method, count] : flows.per_method) {
+    out << (first ? "" : ",") << "\"" << EscapeJson(method) << "\":" << count;
+    first = false;
+  }
+  out << "}}";
+}
+
 void AppendSystem(std::ostringstream& out, const SystemMetrics& system, bool include_wall) {
   out << "{\"system\":\"" << EscapeJson(system.system) << "\",\"runs\":" << system.runs;
   out << ",\"counters\":{";
@@ -88,7 +112,10 @@ void AppendSystem(std::ostringstream& out, const SystemMetrics& system, bool inc
     AppendHistogram(out, histogram);
     first = false;
   }
-  out << "}";
+  out << "},\"span_tree\":";
+  AppendSpanTree(out, system.span_tree);
+  out << ",\"flows\":";
+  AppendFlows(out, system.flows);
   if (include_wall) {
     const double runs_per_second =
         system.campaign_wall_seconds > 0

@@ -19,7 +19,11 @@ uint64_t WallNowNs() {
 }  // namespace
 
 ScopedSpan::ScopedSpan(RunObserver* observer, const ctsim::EventLoop* loop, std::string name,
-                       std::string category) {
+                       std::string category)
+    : ScopedSpan(observer, loop, std::move(name), std::move(category), std::string()) {}
+
+ScopedSpan::ScopedSpan(RunObserver* observer, const ctsim::EventLoop* loop, std::string name,
+                       std::string category, std::string component) {
   if (observer == nullptr || !observer->enabled()) {
     return;
   }
@@ -27,8 +31,10 @@ ScopedSpan::ScopedSpan(RunObserver* observer, const ctsim::EventLoop* loop, std:
   loop_ = loop;
   event_.name = std::move(name);
   event_.category = std::move(category);
+  event_.component = std::move(component);
   event_.sim_begin_ms = loop_ != nullptr ? loop_->Now() : 0;
   event_.wall_begin_ns = WallNowNs();
+  observer_->BeginSpan(&event_);
 }
 
 ScopedSpan::~ScopedSpan() {
@@ -37,7 +43,7 @@ ScopedSpan::~ScopedSpan() {
   }
   event_.sim_end_ms = loop_ != nullptr ? loop_->Now() : event_.sim_begin_ms;
   event_.wall_end_ns = WallNowNs();
-  observer_->spans().Append(std::move(event_));
+  observer_->EndSpan(std::move(event_));
 }
 
 void ScopedSpan::AddArg(std::string key, std::string value) {

@@ -1,12 +1,18 @@
-// Phase spans: named intervals on both clocks.
+// Phase spans: named intervals on both clocks, nested into a hierarchy.
 //
 // A SpanEvent captures one phase of one run — boot, workload, window-arm,
-// injection, recovery-check — with its extent in *virtual* time (read off
-// the run's event loop; deterministic) and in *wall* time (steady_clock;
-// nondeterministic, kept strictly out of every hash and deterministic
-// snapshot section). ScopedSpan is the RAII recorder: construction opens the
-// span, destruction closes it, so a span stays correct even when the body
-// unwinds through NodeCrashedSignal.
+// injection, recovery-check, or a component-level sweep inside a phase —
+// with its extent in *virtual* time (read off the run's event loop;
+// deterministic) and in *wall* time (steady_clock; nondeterministic, kept
+// strictly out of every hash and deterministic snapshot section). Spans
+// nest: the observer assigns ids in open order and records the id of the
+// enclosing open span as the parent, so traces are navigable below run
+// granularity. A span may also carry a `component` attribute (the model
+// role class doing the work, e.g. "QuorumPeer"); component spans are what
+// the virtual-time profiler (`ctstat --top`) attributes dwell to.
+// ScopedSpan is the RAII recorder: construction opens the span, destruction
+// closes it, so a span stays correct even when the body unwinds through
+// NodeCrashedSignal.
 #ifndef SRC_OBS_SPAN_H_
 #define SRC_OBS_SPAN_H_
 
@@ -25,7 +31,10 @@ class RunObserver;
 
 struct SpanEvent {
   std::string name;      // "boot", "workload", "inject:<model span>", ...
-  std::string category;  // "phase" | "injection" | "driver"
+  std::string category;  // "phase" | "injection" | "driver" | "component"
+  std::string component;  // model role class doing the work ("" = none)
+  uint64_t id = 0;         // 1-based, assigned by the observer in open order
+  uint64_t parent_id = 0;  // id of the enclosing open span (0 = root)
   uint64_t sim_begin_ms = 0;
   uint64_t sim_end_ms = 0;
   // steady_clock nanoseconds; meaningful only as differences and only
@@ -42,12 +51,25 @@ struct SpanEvent {
 
 class SpanRecorder {
  public:
-  void Append(SpanEvent event) { events_.push_back(std::move(event)); }
+  // Raw per-run events are capped; the aggregate span tree (RunObserver)
+  // keeps exact counts past the cap so high-frequency component spans at
+  // scale cannot blow up per-run memory.
+  static constexpr size_t kMaxEvents = 4096;
+
+  void Append(SpanEvent event) {
+    if (events_.size() < kMaxEvents) {
+      events_.push_back(std::move(event));
+    } else {
+      ++dropped_;
+    }
+  }
   const std::vector<SpanEvent>& events() const { return events_; }
+  uint64_t dropped() const { return dropped_; }
   bool empty() const { return events_.empty(); }
 
  private:
   std::vector<SpanEvent> events_;
+  uint64_t dropped_ = 0;
 };
 
 // Opens a span on construction and records it into the observer's recorder
@@ -59,12 +81,19 @@ class ScopedSpan {
  public:
   ScopedSpan(RunObserver* observer, const ctsim::EventLoop* loop, std::string name,
              std::string category);
+  // Component-span variant: tags the span with the model role class whose
+  // work it covers and feeds the observer's per-component dwell attribution.
+  ScopedSpan(RunObserver* observer, const ctsim::EventLoop* loop, std::string name,
+             std::string category, std::string component);
   ~ScopedSpan();
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
   // Attaches a key/value pair to the span (visible in the Chrome trace).
   void AddArg(std::string key, std::string value);
+
+  // Id assigned by the observer (0 when recording is off).
+  uint64_t id() const { return event_.id; }
 
  private:
   RunObserver* observer_ = nullptr;  // null when recording is off

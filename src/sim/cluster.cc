@@ -92,6 +92,9 @@ void Cluster::StartNode(const std::string& id) {
   TraceRecord("start", id);
   const NodeId previous = current_node_;
   current_node_ = node->sym();
+  // Lifecycle sends are causal roots, even when the start happens inside
+  // another node's handler (a mid-run join).
+  FlowRootScope flow_root(this);
   node->Start();
   current_node_ = previous;
 }
@@ -120,7 +123,10 @@ void Cluster::Shutdown(const std::string& id) {
   TraceRecord("shutdown", id);
   // The shutdown hook runs inside the node's exception boundary: stop-time
   // code can itself raise the exceptions crash-recovery bugs are made of
-  // (HDFS-14372's "shutdown before register" abort).
+  // (HDFS-14372's "shutdown before register" abort). Its leave
+  // notifications are causal roots, not children of whatever delivery the
+  // trigger interrupted.
+  FlowRootScope flow_root(this);
   node->RunGuarded("shutdown", [node] { node->OnShutdown(); });
   node->MarkShutdown();
 }
@@ -142,6 +148,12 @@ void Cluster::Post(Message message) {
   // count reflects what the system *tried* to send under faults.
   if (IsHeartbeatMethod(message.method)) {
     ++heartbeat_messages_;
+  }
+  // Causal stamps, before any fault decision: a duplicate copies the whole
+  // message, so both deliveries carry the same parent flow and origin span.
+  if (flow_delivery_hook_) {
+    message.flow = current_flow_;
+    message.origin_span = flow_origin_hook_ ? flow_origin_hook_() : 0;
   }
   // Fault-plan decisions happen here, at schedule time, against the sender's
   // clock: a message launched into an active partition is lost even if the
@@ -251,7 +263,19 @@ void Cluster::DeliverNow(const Message& message) {
   }
   const NodeId previous = current_node_;
   current_node_ = message.to;
-  target->Dispatch(message);
+  if (flow_delivery_hook_) {
+    // Allocate the delivery's flow id on the deterministic delivery order,
+    // report the causal edge, and make this delivery the parent of anything
+    // its handler posts.
+    const uint64_t flow_id = ++next_flow_id_;
+    flow_delivery_hook_(flow_id, message.flow, message.origin_span, message);
+    const uint64_t previous_flow = current_flow_;
+    current_flow_ = flow_id;
+    target->Dispatch(message);
+    current_flow_ = previous_flow;
+  } else {
+    target->Dispatch(message);
+  }
   current_node_ = previous;
 }
 

@@ -14,6 +14,7 @@
 #ifndef SRC_SIM_CLUSTER_H_
 #define SRC_SIM_CLUSTER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -113,6 +114,48 @@ class Cluster {
   // node's heartbeats and sweeps drift without any network fault.
   Time SkewedDelay(const std::string& owner, Time delay) const;
 
+  // Causal-flow observation. When a delivery hook is installed (the executor
+  // does this for observed runs only), every posted message is stamped with
+  // the flow id of the delivery being handled and the observer span id from
+  // the origin hook, and every delivery allocates the next flow id and
+  // reports ⟨id, parent flow, origin span, message⟩ to the hook. The hooks
+  // must be passive: flow ids advance with deliveries on the deterministic
+  // event loop, nothing here draws RNG or schedules events, and the stamps
+  // stay out of every hash and trace record — so observed and unobserved
+  // runs are byte-identical everywhere it counts.
+  using FlowOriginHook = std::function<uint64_t()>;
+  using FlowDeliveryHook =
+      std::function<void(uint64_t flow_id, uint64_t parent_flow, uint64_t origin_span,
+                         const Message& message)>;
+  void SetFlowHooks(FlowOriginHook origin, FlowDeliveryHook delivery) {
+    flow_origin_hook_ = std::move(origin);
+    flow_delivery_hook_ = std::move(delivery);
+  }
+  bool flow_observed() const { return static_cast<bool>(flow_delivery_hook_); }
+  // Flow id of the delivery currently being handled (0 between deliveries
+  // or when a root context — timer, node start, shutdown — is executing).
+  uint64_t current_flow() const { return current_flow_; }
+
+  // Opens a root flow context for the duration of a scope: sends inside it
+  // are causal roots, not children of whatever delivery happens to be on the
+  // call stack. Node timers and lifecycle callbacks wrap themselves in one,
+  // because a timer firing inside a handler's nested RunFor must not inherit
+  // that handler's flow.
+  class FlowRootScope {
+   public:
+    explicit FlowRootScope(Cluster* cluster)
+        : cluster_(cluster), saved_(cluster->current_flow_) {
+      cluster_->current_flow_ = 0;
+    }
+    ~FlowRootScope() { cluster_->current_flow_ = saved_; }
+    FlowRootScope(const FlowRootScope&) = delete;
+    FlowRootScope& operator=(const FlowRootScope&) = delete;
+
+   private:
+    Cluster* cluster_;
+    uint64_t saved_;
+  };
+
   // Trace record/replay. When set, every delivery, drop, timer firing, crash,
   // shutdown, start, and fault directive is recorded (or verified, in replay
   // mode). The recorder must outlive the run.
@@ -198,6 +241,10 @@ class Cluster {
   // dynamically via PartitionNodes.
   std::vector<PartitionDirective> partitions_;
   TraceRecorder* trace_ = nullptr;
+  FlowOriginHook flow_origin_hook_;
+  FlowDeliveryHook flow_delivery_hook_;
+  uint64_t current_flow_ = 0;
+  uint64_t next_flow_id_ = 0;
   uint64_t delivered_messages_ = 0;
   uint64_t dropped_messages_ = 0;
   uint64_t plan_dropped_messages_ = 0;

@@ -96,9 +96,16 @@ void Node::Send(NodeId to, const std::string& method, KvList args) {
 }
 
 void Node::After(Time delay, std::function<void()> fn) {
+  // A timer firing is a causal root: even when the loop drains it inside
+  // another handler's nested RunFor, its sends must not inherit that
+  // delivery's flow.
   cluster_->loop().Schedule(
       cluster_->SkewedDelay(id_, delay),
-      [this, fn = std::move(fn)] { RunGuarded("timer", fn); }, sym_);
+      [this, fn = std::move(fn)] {
+        Cluster::FlowRootScope flow_root(cluster_);
+        RunGuarded("timer", fn);
+      },
+      sym_);
 }
 
 void Node::Every(Time period, std::function<void()> fn) {
@@ -107,6 +114,7 @@ void Node::Every(Time period, std::function<void()> fn) {
   // Each re-arm re-applies the fault plan's clock skew, so a slow node's
   // period drifts cumulatively, round after round.
   std::function<void()> tick = [this, period, shared]() {
+    Cluster::FlowRootScope flow_root(cluster_);
     RunGuarded("timer", *shared);
     if (IsRunning()) {
       Every(period, *shared);

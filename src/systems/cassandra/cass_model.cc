@@ -92,6 +92,7 @@ CassArtifacts* Build() {
   add_method("HintsService", "write");
   add_method("StorageService", "handleStateNormal");
   add_method("Gossiper", "markAlive");
+  add_method("Gossiper", "gossipRound");
   // Gossip state application dispatches NORMAL transitions to the storage
   // service and flips endpoints alive on heartbeat echoes.
   model.AddCallEdge({"Gossiper.applyStateLocally", "StorageService.handleStateNormal",
@@ -181,6 +182,10 @@ CassArtifacts* Build() {
   // equivalence partition keys on the span name.
   model.AddSpan({"coordinator.read", "StorageProxy.readRegular",
                  "coordinator read against the replica ring"});
+  // Component span on its own anchor method (no existing injection anchor
+  // changes): one gossip fan-out round, the role the fuzz grammar kills.
+  model.AddSpan({"gossip-round", "Gossiper.gossipRound",
+                 "one gossip digest fan-out round across the seeds", "Gossiper"});
 
   // Workload-fuzzing grammar: RPC ops name their declared handler, node ops
   // the class whose recovery logic the fault exercises (ctlint's

@@ -1,5 +1,6 @@
 #include "src/systems/cassandra/cass_nodes.h"
 
+#include "src/runtime/component_span.h"
 #include "src/runtime/tracer.h"
 #include "src/sim/exception.h"
 
@@ -70,6 +71,7 @@ void CassNode::OnStart() {
   ring_.push_back(id());
   log().Log(artifacts_->stmts.node_joined, {id()});
   Every(config_->gossip_ms, [this] {
+    ctrt::ComponentSpan round(&this->cluster().loop(), "gossip-round", "Gossiper");
     for (const auto& peer : seeds_) {
       if (peer != id()) {
         Send(peer, "gossip", {});

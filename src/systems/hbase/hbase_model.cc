@@ -114,6 +114,7 @@ HBaseArtifacts* Build() {
   add_method("MasterRpcServices", "getClusterStatus", /*entry=*/true);
   add_method("HMaster", "finishActiveMasterInitialization", /*entry=*/true);
   add_method("ServerCrashProcedure", "execute", /*entry=*/true);
+  add_method("ServerCrashProcedure", "expireServer");
   add_method("LoadBalancer", "balanceCluster", /*entry=*/true);
   add_method("ReplicationZKWatcher", "refreshPeers", /*entry=*/true);
   add_method("HRegionServer", "initializeMetrics", /*entry=*/true);
@@ -239,6 +240,12 @@ HBaseArtifacts* Build() {
                  "metrics wrapper initialization over server state"});
   model.AddSpan({"rs.refresh-peers", "ReplicationZKWatcher.refreshPeers",
                  "replication peer list refresh from ZK"});
+  // Component span on its own anchor method (keeping the existing
+  // ServerCrashProcedure.execute injection anchor untouched): one full
+  // crash-procedure sweep on the master, the role the fuzz grammar kills.
+  model.AddSpan({"master.server-crash-procedure", "ServerCrashProcedure.expireServer",
+                 "master-side crash procedure recovering a dead RS's regions",
+                 "ServerCrashProcedure"});
 
   // Workload-fuzzing grammar: RPC ops name their declared handler, node ops
   // the class whose recovery logic the fault exercises (ctlint's

@@ -1,5 +1,6 @@
 #include "src/systems/hbase/hbase_nodes.h"
 
+#include "src/runtime/component_span.h"
 #include "src/runtime/tracer.h"
 #include "src/sim/exception.h"
 
@@ -233,6 +234,8 @@ void HMaster::AssignRegion(const std::string& region, const std::string& rs, boo
 }
 
 void HMaster::ServerCrashProcedure(const std::string& rs) {
+  ctrt::ComponentSpan procedure(&this->cluster().loop(), "master.server-crash-procedure",
+                                "ServerCrashProcedure");
   CT_FRAME("ServerCrashProcedure.execute");
   if (online_.erase(rs) == 0) {
     return;

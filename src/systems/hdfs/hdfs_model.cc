@@ -112,6 +112,7 @@ HdfsArtifacts* Build() {
   add_method("BlockReceiver", "receivePacket", /*entry=*/true);
   add_method("FSNamesystem", "completeFile", /*entry=*/true);
   add_method("FSNamesystem", "startActiveServices", /*entry=*/true);
+  add_method("FSNamesystem", "haHeartbeat");
   add_method("BPOfferService", "register", /*entry=*/true);
   add_method("DatanodeManager", "getDatanode");
   add_method("BlockManager", "addBlock");
@@ -220,14 +221,21 @@ HdfsArtifacts* Build() {
                  "DN descriptor lookup on the block-placement and read paths"});
   model.AddSpan({"nn.register-datanode", "DatanodeManager.registerDatanode",
                  "DN (re-)registration with the NameNode"});
+  // Component attribute on the block-report span: `ctstat --top` attributes
+  // per-sweep virtual-time dwell to the DatanodeManager role, whose state
+  // the report feeds (the ROADMAP's "HDFS block-report handling" hot path).
   model.AddSpan({"dn.block-report", "BPOfferService.blockReport",
-                 "full block report from a DN to the NameNode"});
+                 "full block report from a DN to the NameNode", "DatanodeManager"});
   // Recovery-phase anchors of the remaining executable crash points: the
   // equivalence partition keys on the span name.
   model.AddSpan({"nn.edit-replay", "FSEditLogLoader.replay",
                  "edit-log replay during namespace recovery"});
   model.AddSpan({"nn.fs-status", "FSNamesystem.getFsStatus",
                  "filesystem status read against namespace state"});
+  // Component span on its own anchor method (so no existing injection
+  // anchor changes): the active NameNode's HA heartbeat sweep.
+  model.AddSpan({"nn.ha-heartbeat", "FSNamesystem.haHeartbeat",
+                 "active NameNode heartbeat round toward the standby", "FSNamesystem"});
 
   // Workload-fuzzing grammar: RPC ops name their declared handler, node ops
   // the class whose recovery logic the fault exercises (ctlint's

@@ -1,5 +1,6 @@
 #include "src/systems/hdfs/hdfs_nodes.h"
 
+#include "src/runtime/component_span.h"
 #include "src/runtime/tracer.h"
 #include "src/sim/exception.h"
 
@@ -56,6 +57,7 @@ void NameNode::OnStart() {
   dn_fd_->Start();
   if (active_) {
     Every(config_->nn_peer_heartbeat_ms, [this] {
+      ctrt::ComponentSpan sweep(&this->cluster().loop(), "nn.ha-heartbeat", "FSNamesystem");
       if (active_) {
         Send(peer_, "nnHeartbeat", {});
       }
@@ -275,6 +277,7 @@ void DataNode::OnStart() {
 }
 
 void DataNode::BlockReport() {
+  ctrt::ComponentSpan report(&this->cluster().loop(), "dn.block-report", "DatanodeManager");
   CT_FRAME("BPOfferService.blockReport");
   // The report is built from the block-pool registration — read without
   // checking that registration ever completed (the HDFS-14372 substrate).

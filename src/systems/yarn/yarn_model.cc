@@ -476,6 +476,7 @@ void BuildMethods(ProgramModel* model) {
   AddMethod(model, "AbstractYarnScheduler", "allocateContainer");
   AddMethod(model, "CapacityScheduler", "allocateGuaranteed");
   AddMethod(model, "OpportunisticContainerAllocator", "allocateNodes");
+  AddMethod(model, "NodesListManager", "refreshNodes");
   AddMethod(model, "RMAppAttemptImpl", "storeAttempt");
   AddMethod(model, "RMAppAttemptImpl", "attemptFailed");
   AddMethod(model, "RMContainerImpl", "processLaunched");
@@ -669,6 +670,13 @@ void BuildSpans(YarnArtifacts* artifacts) {
                  "task attempt commit-pending notification"});
   model.AddSpan({"am.task-done", "TaskAttemptListener.done",
                  "task attempt completion notification"});
+  // Component span: the RM's periodic candidate-node-list refresh (the
+  // YARN-9193 staleness window). Anchored at its own method decl so no
+  // existing injection anchor changes; the component attribute feeds
+  // `ctstat --top` dwell attribution.
+  model.AddSpan({"rm.node-list-refresh", "NodesListManager.refreshNodes",
+                 "periodic rebuild of the opportunistic allocator's candidate list",
+                 "NodesListManager"});
 }
 
 // Workload-fuzzing grammar: the ops the coverage-guided generator may splice

@@ -101,6 +101,7 @@ ZkArtifacts* Build() {
   add_method("DataTree", "createNode");
   add_method("FollowerRequestProcessor", "processRequest");
   add_method("QuorumPeer", "lead");
+  add_method("QuorumPeer", "broadcastHeartbeats");
   add_method("ZooKeeperServer", "loadData");
   add_method("SessionTracker", "createSession");
   add_method("SyncRequestProcessor", "snapshot");
@@ -213,6 +214,12 @@ ZkArtifacts* Build() {
   // equivalence partition keys on the span name.
   model.AddSpan({"tree.get-znode", "DataTree.getData",
                  "znode read out of the data tree"});
+  // Component span: each quorum-broadcast round a peer runs (the O(peers²)
+  // heartbeat fan-out, ROADMAP item 1b). Anchored at its own method decl so
+  // existing injection-span anchors are untouched; the component attribute
+  // is what `ctstat --top` attributes virtual-time dwell to.
+  model.AddSpan({"quorum-broadcast", "QuorumPeer.broadcastHeartbeats",
+                 "one peer-heartbeat fan-out round across the quorum", "QuorumPeer"});
 
   // Workload-fuzzing grammar: RPC ops name their declared handler, node ops
   // the class whose recovery logic the fault exercises (ctlint's

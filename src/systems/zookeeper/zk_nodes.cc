@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/runtime/component_span.h"
 #include "src/runtime/tracer.h"
 #include "src/sim/exception.h"
 
@@ -81,6 +82,9 @@ void ZkPeer::OnStart() {
   current_leader_ = LeaderId();
   log().Log(artifacts_->stmts.peer_up, {id(), std::to_string(myid_)});
   Every(config_->gossip_ms, [this] {
+    // One quorum-broadcast round: the O(peers²) heartbeat fan-out the
+    // scale-out profiling work targets (ROADMAP item 1b).
+    ctrt::ComponentSpan round(&this->cluster().loop(), "quorum-broadcast", "QuorumPeer");
     for (const auto& peer : peers_) {
       if (peer != id()) {
         Send(peer, "peerHeartbeat", {});

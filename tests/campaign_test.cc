@@ -210,6 +210,59 @@ TEST(ParallelDeterminism, ObservationIsPassiveAndSnapshotDeterministic) {
   EXPECT_GT(snap_seq.systems[0].runs, 0);
   EXPECT_EQ(snap_seq.ToJson(/*include_wall=*/false),
             snap_par.ToJson(/*include_wall=*/false));
+
+  // The v2 additions actually recorded: a span hierarchy and causal flows.
+  const ctobs::SystemMetrics& finalized = snap_seq.systems[0];
+  EXPECT_FALSE(finalized.span_tree.empty());
+  EXPECT_GT(finalized.flows.messages, 0u);
+  EXPECT_GT(finalized.flows.span_resolved, 0u);
+  for (size_t i = 0; i < finalized.span_tree.size(); ++i) {
+    // Index-ordered merge: every parent precedes its children.
+    EXPECT_LT(finalized.span_tree[i].parent, static_cast<long long>(i));
+    EXPECT_GE(finalized.span_tree[i].parent, -1);
+  }
+
+  // Failure dossiers are part of the deterministic observation: the same
+  // failing runs produce the same dossiers at any worker count.
+  const std::vector<ctobs::Dossier> dossiers_seq = obs_seq.dossiers();
+  const std::vector<ctobs::Dossier> dossiers_par = obs_par.dossiers();
+  ASSERT_EQ(dossiers_seq.size(), dossiers_par.size());
+  EXPECT_GT(dossiers_seq.size(), 0u);  // mini-YARN campaigns do find bugs
+  for (size_t i = 0; i < dossiers_seq.size(); ++i) {
+    EXPECT_EQ(dossiers_seq[i].ToJson(), dossiers_par[i].ToJson());
+    // And each round-trips through the v1 reader.
+    const std::string json = dossiers_seq[i].ToJson();
+    EXPECT_EQ(ctobs::Dossier::FromJsonText(json).ToJson(), json);
+  }
+}
+
+TEST(FlowDag, EveryDeliveredMessageResolvesToItsOriginatingSpan) {
+  // Golden-run flow check on a real campaign: run mini-YARN observed, then
+  // validate the flow DAG of each absorbed run via the finalized statistics —
+  // parents always precede children (FlowRecorder depth relies on it), root
+  // count is sane, and a majority of deliveries carry an originating span.
+  ctyarn::YarnSystem yarn;
+  ctcore::CrashTunerDriver driver;
+  ctobs::CampaignObserver observer;
+  ctcore::DriverOptions options;
+  options.observer = &observer;
+  (void)driver.Run(yarn, options);
+
+  const ctobs::SystemMetrics metrics = observer.Finalize();
+  ASSERT_GT(metrics.flows.messages, 0u);
+  EXPECT_GT(metrics.flows.roots, 0u);
+  EXPECT_LE(metrics.flows.roots, metrics.flows.messages);
+  // Handlers send messages while handling deliveries, so chains must nest.
+  EXPECT_GE(metrics.flows.max_depth, 2u);
+  // Every injection run opens phase spans around its whole lifetime, so
+  // every message posted from node code resolves to some span.
+  EXPECT_EQ(metrics.flows.span_resolved, metrics.flows.messages);
+  unsigned long long per_method_total = 0;
+  for (const auto& [method, count] : metrics.flows.per_method) {
+    EXPECT_FALSE(method.empty());
+    per_method_total += count;
+  }
+  EXPECT_EQ(per_method_total, metrics.flows.messages);
 }
 
 }  // namespace

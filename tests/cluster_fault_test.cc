@@ -86,6 +86,47 @@ TEST(ClusterFaults, ReorderingRespectsTheDeclaredBound) {
             cluster.latency_ms());
 }
 
+TEST(ClusterFaults, FlowStampsSurviveDuplicationAndReordering) {
+  // Flow stamps are written at post time, before any fault draw, so a
+  // duplicated message's copy inherits the originating span and a reordered
+  // delivery keeps it — the flow DAG stays exact under an active FaultPlan.
+  Cluster cluster(7);
+  auto* a = cluster.AddNode<ProbeNode>("a:1");
+  auto* b = cluster.AddNode<ProbeNode>("b:1");
+  cluster.StartAll();
+  FaultPlan plan;
+  plan.default_link.duplicate_probability = 1.0;
+  plan.default_link.reorder_window_ms = 10;
+  cluster.InstallFaultPlan(plan);
+
+  struct Delivered {
+    uint64_t flow;
+    uint64_t parent;
+    uint64_t origin;
+  };
+  std::vector<Delivered> deliveries;
+  cluster.SetFlowHooks(
+      [] { return uint64_t{42}; },
+      [&](uint64_t flow_id, uint64_t parent_flow, uint64_t origin_span, const Message&) {
+        deliveries.push_back({flow_id, parent_flow, origin_span});
+      });
+  const int kMessages = 20;
+  for (int i = 0; i < kMessages; ++i) {
+    a->Send("b:1", "ping");
+  }
+  cluster.loop().RunToCompletion();
+  EXPECT_EQ(b->pings_, 2 * kMessages);  // every message duplicated
+  ASSERT_EQ(deliveries.size(), static_cast<size_t>(2 * kMessages));
+  std::vector<uint64_t> seen_ids;
+  for (const Delivered& delivery : deliveries) {
+    EXPECT_EQ(delivery.origin, 42u);  // both copies carry the post-time span
+    EXPECT_EQ(delivery.parent, 0u);   // posted outside any delivery: DAG roots
+    seen_ids.push_back(delivery.flow);
+  }
+  std::sort(seen_ids.begin(), seen_ids.end());
+  EXPECT_EQ(std::unique(seen_ids.begin(), seen_ids.end()), seen_ids.end());
+}
+
 TEST(ClusterFaults, LinkDropsCountSeparatelyFromDeadNodeDrops) {
   Cluster cluster(7);
   auto* a = cluster.AddNode<ProbeNode>("a:1");

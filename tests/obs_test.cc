@@ -186,6 +186,174 @@ TEST(SpanTest, DisabledOrNullObserverRecordsNothing) {
   EXPECT_TRUE(disabled.metrics().empty());
 }
 
+TEST(SpanTest, NestedSpansGetSequentialIdsAndParents) {
+  ctsim::EventLoop loop;
+  ctobs::RunObserver observer;
+  observer.Enable();
+  {
+    ctobs::ScopedSpan outer(&observer, &loop, "workload", "phase");
+    EXPECT_EQ(outer.id(), 1u);
+    EXPECT_EQ(observer.current_span_id(), 1u);
+    {
+      ctobs::ScopedSpan inner(&observer, &loop, "quorum-broadcast", "component",
+                              "QuorumPeer");
+      EXPECT_EQ(inner.id(), 2u);
+      EXPECT_EQ(observer.current_span_id(), 2u);
+    }
+    EXPECT_EQ(observer.current_span_id(), 1u);
+  }
+  EXPECT_EQ(observer.current_span_id(), 0u);
+  // Inner closes first, so it is recorded first.
+  ASSERT_EQ(observer.spans().events().size(), 2u);
+  const ctobs::SpanEvent& inner = observer.spans().events()[0];
+  const ctobs::SpanEvent& outer = observer.spans().events()[1];
+  EXPECT_EQ(inner.name, "quorum-broadcast");
+  EXPECT_EQ(inner.parent_id, outer.id);
+  EXPECT_EQ(inner.component, "QuorumPeer");
+  EXPECT_EQ(outer.parent_id, 0u);
+  // The path-keyed aggregate tree carries the hierarchy exactly, with the
+  // parent path lexicographically before the child's.
+  ASSERT_EQ(observer.span_tree().size(), 2u);
+  EXPECT_EQ(observer.span_tree().count("workload"), 1u);
+  EXPECT_EQ(observer.span_tree().count("workload/quorum-broadcast"), 1u);
+  EXPECT_EQ(observer.span_tree().at("workload/quorum-broadcast").component, "QuorumPeer");
+}
+
+TEST(SpanTest, ComponentSpansPartitionVirtualTimeIntoDwell) {
+  ctsim::EventLoop loop;
+  ctobs::RunObserver observer;
+  observer.Enable();
+  loop.Schedule(100, [] {});
+  loop.RunToCompletion();  // now = 100
+  {
+    // Opening a component span charges the time since the last mark (run
+    // start) to this sweep: 100 ms.
+    ctobs::ScopedSpan sweep(&observer, &loop, "gossip-round", "component", "Gossiper");
+  }
+  loop.Schedule(150, [] {});
+  loop.RunToCompletion();  // now = 250
+  {
+    ctobs::ScopedSpan sweep(&observer, &loop, "gossip-round", "component", "Gossiper");
+  }
+  EXPECT_EQ(observer.metrics().counter("component.gossip-round.dwell_ms"), 250u);
+  EXPECT_EQ(observer.metrics().counter("component.gossip-round.events"), 2u);
+}
+
+TEST(SpanTest, RawEventCapDropsButAggregatesStayExact) {
+  ctsim::EventLoop loop;
+  ctobs::RunObserver observer;
+  observer.Enable();
+  const size_t total = ctobs::SpanRecorder::kMaxEvents + 10;
+  for (size_t i = 0; i < total; ++i) {
+    ctobs::ScopedSpan span(&observer, &loop, "tick", "component", "Ticker");
+  }
+  EXPECT_EQ(observer.spans().events().size(), ctobs::SpanRecorder::kMaxEvents);
+  EXPECT_EQ(observer.spans().dropped(), 10u);
+  EXPECT_EQ(observer.span_tree().at("tick").count, total);
+  EXPECT_EQ(observer.metrics().counter("component.tick.events"), total);
+}
+
+// ---------------------------------------------------------------------------
+// Flow recorder
+
+ctobs::FlowRecord MakeFlow(uint64_t id, uint64_t parent, uint64_t origin_span,
+                           const std::string& method) {
+  ctobs::FlowRecord record;
+  record.id = id;
+  record.parent = parent;
+  record.origin_span = origin_span;
+  record.method = method;
+  record.from = "a";
+  record.to = "b";
+  return record;
+}
+
+TEST(FlowRecorderTest, TracksDepthRootsAndSpanResolution) {
+  ctobs::FlowRecorder flows;
+  flows.Record(MakeFlow(1, 0, 5, "gossip"));    // root, from span 5
+  flows.Record(MakeFlow(2, 1, 5, "writeRow"));  // caused by delivery 1
+  flows.Record(MakeFlow(3, 2, 0, "rowAck"));    // caused by delivery 2, no span
+  flows.Record(MakeFlow(4, 0, 0, "gossip"));    // independent root
+  EXPECT_EQ(flows.messages(), 4u);
+  EXPECT_EQ(flows.roots(), 2u);
+  EXPECT_EQ(flows.span_resolved(), 2u);
+  EXPECT_EQ(flows.max_depth(), 3u);
+  EXPECT_EQ(flows.DepthOf(1), 1u);
+  EXPECT_EQ(flows.DepthOf(3), 3u);
+  EXPECT_EQ(flows.DepthOf(99), 0u);
+  EXPECT_EQ(flows.per_method().at("gossip"), 2u);
+  EXPECT_EQ(flows.records().size(), 4u);
+  EXPECT_TRUE(flows.records()[0].is_root());
+  EXPECT_FALSE(flows.records()[1].is_root());
+}
+
+TEST(FlowRecorderTest, RecordCapDropsRawRecordsButCountsExactly) {
+  ctobs::FlowRecorder flows;
+  const uint64_t total = ctobs::FlowRecorder::kMaxRecords + 7;
+  for (uint64_t i = 1; i <= total; ++i) {
+    flows.Record(MakeFlow(i, i - 1, 0, "tick"));  // one long causal chain
+  }
+  EXPECT_EQ(flows.records().size(), ctobs::FlowRecorder::kMaxRecords);
+  EXPECT_EQ(flows.dropped(), 7u);
+  EXPECT_EQ(flows.messages(), total);
+  EXPECT_EQ(flows.max_depth(), total);  // depth tracking continues past the cap
+  EXPECT_EQ(flows.per_method().at("tick"), total);
+}
+
+// ---------------------------------------------------------------------------
+// Dossiers
+
+ctobs::Dossier MakeDossier() {
+  ctobs::Dossier dossier;
+  dossier.system = "ZooKeeper";
+  dossier.slot = 12;
+  dossier.seed = 0xdeadbeefcafef00dull;
+  dossier.failed_invariant = "cluster down";
+  ctobs::DossierPoint point;
+  point.point_id = 7;
+  point.call_string = "QuorumPeer.lead/Leader.waitForEpochAck";
+  point.target_node = "zk2";
+  point.mode = "crash";
+  dossier.injected_points.push_back(point);
+  dossier.recovery_phase_span = "leader-election";
+  dossier.trace_hash_prefix = "8f00ba42";
+  dossier.fault_plan = "link-faults=1 partition-epochs=0 timer-skew=0";
+  dossier.workload = "create/get znodes x12";
+  return dossier;
+}
+
+TEST(DossierTest, RoundTripsThroughJsonReader) {
+  const ctobs::Dossier original = MakeDossier();
+  const std::string json = original.ToJson();
+  EXPECT_NE(json.find(ctobs::kDossierSchema), std::string::npos);
+  const ctobs::Dossier parsed = ctobs::Dossier::FromJsonText(json);
+  EXPECT_EQ(parsed.system, original.system);
+  EXPECT_EQ(parsed.slot, original.slot);
+  EXPECT_EQ(parsed.seed, original.seed);  // full uint64, via the string field
+  EXPECT_EQ(parsed.failed_invariant, original.failed_invariant);
+  ASSERT_EQ(parsed.injected_points.size(), 1u);
+  EXPECT_EQ(parsed.injected_points[0].point_id, 7);
+  EXPECT_EQ(parsed.injected_points[0].call_string, original.injected_points[0].call_string);
+  EXPECT_EQ(parsed.injected_points[0].mode, "crash");
+  EXPECT_EQ(parsed.recovery_phase_span, original.recovery_phase_span);
+  EXPECT_EQ(parsed.trace_hash_prefix, original.trace_hash_prefix);
+  EXPECT_EQ(parsed.ToJson(), json);  // byte-stable round trip
+}
+
+TEST(DossierTest, RejectsWrongSchemaAndMissingFields) {
+  std::string json = MakeDossier().ToJson();
+  const std::string mangled = [&] {
+    std::string copy = json;
+    const size_t at = copy.find(ctobs::kDossierSchema);
+    copy.replace(at, std::string(ctobs::kDossierSchema).size(), "crashtuner-dossier-v0");
+    return copy;
+  }();
+  EXPECT_THROW(ctobs::Dossier::FromJsonText(mangled), std::runtime_error);
+  EXPECT_THROW(ctobs::Dossier::FromJsonText("{\"schema\":\"crashtuner-dossier-v1\"}"),
+               std::runtime_error);
+  EXPECT_THROW(ctobs::Dossier::FromJsonText("not json"), std::runtime_error);
+}
+
 // ---------------------------------------------------------------------------
 // Campaign observer + snapshot + trace
 
@@ -278,6 +446,86 @@ TEST(ChromeTraceTest, TraceJsonParsesAndCarriesSpans) {
     }
   }
   EXPECT_TRUE(found_span);
+}
+
+TEST(SnapshotTest, V2CarriesSpanTreeAndFlowsInDeterministicSection) {
+  ctsim::EventLoop loop;
+  loop.Schedule(30, [] {});
+  ctobs::CampaignObserver campaign;
+  campaign.set_system("TestSys");
+  ctobs::RunObserver run;
+  run.Enable();
+  {
+    ctobs::ScopedSpan outer(&run, &loop, "workload", "phase");
+    ctobs::ScopedSpan inner(&run, &loop, "gossip-round", "component", "Gossiper");
+    loop.RunToCompletion();
+  }
+  run.flows().Record(MakeFlow(1, 0, 1, "gossip"));
+  run.flows().Record(MakeFlow(2, 1, 2, "gossip"));
+  campaign.AbsorbRun(0, run);
+
+  const ctobs::SystemMetrics metrics = campaign.Finalize();
+  ASSERT_EQ(metrics.span_tree.size(), 2u);
+  EXPECT_EQ(metrics.span_tree[0].path, "workload");
+  EXPECT_EQ(metrics.span_tree[0].parent, -1);
+  EXPECT_EQ(metrics.span_tree[1].path, "workload/gossip-round");
+  EXPECT_EQ(metrics.span_tree[1].parent, 0);  // index of "workload"
+  EXPECT_EQ(metrics.span_tree[1].component, "Gossiper");
+  EXPECT_EQ(metrics.flows.messages, 2u);
+  EXPECT_EQ(metrics.flows.roots, 1u);
+  EXPECT_EQ(metrics.flows.max_depth, 2u);
+
+  ctobs::MetricsSnapshot snapshot;
+  snapshot.systems.push_back(metrics);
+  // Both sections live in the deterministic half: present without wall.
+  const std::string without_wall = snapshot.ToJson(/*include_wall=*/false);
+  const ctobs::JsonValue parsed = ctobs::ParseJson(without_wall);
+  EXPECT_EQ(parsed.Find("schema")->string_value, ctobs::kSnapshotSchema);
+  const ctobs::JsonValue& system = parsed.Find("systems")->array_items.at(0);
+  const ctobs::JsonValue* span_tree = system.Find("span_tree");
+  ASSERT_NE(span_tree, nullptr);
+  ASSERT_EQ(span_tree->array_items.size(), 2u);
+  EXPECT_EQ(span_tree->array_items[1].Find("parent")->number_value, 0.0);
+  const ctobs::JsonValue* flows = system.Find("flows");
+  ASSERT_NE(flows, nullptr);
+  EXPECT_EQ(flows->Find("messages")->number_value, 2.0);
+  EXPECT_EQ(flows->Find("per_method")->Find("gossip")->number_value, 2.0);
+}
+
+TEST(ChromeTraceTest, FlowArrowsLinkParentAndChildDeliveries) {
+  ctobs::CampaignObserver campaign;
+  ctobs::RunObserver run;
+  run.Enable();
+  ctobs::FlowRecord parent = MakeFlow(1, 0, 0, "gossip");
+  parent.sim_ms = 10;
+  ctobs::FlowRecord child = MakeFlow(2, 1, 0, "writeRow");
+  child.sim_ms = 25;
+  run.flows().Record(parent);
+  run.flows().Record(child);
+  campaign.AbsorbRun(3, run);
+
+  ctobs::ChromeTraceWriter writer;
+  campaign.AppendChromeTrace(&writer, /*pid=*/1, "TestSys");
+  const ctobs::JsonValue trace = ctobs::ParseJson(writer.ToJson());
+  double start_id = -1;
+  double finish_id = -2;
+  for (const ctobs::JsonValue& event : trace.Find("traceEvents")->array_items) {
+    const ctobs::JsonValue* ph = event.Find("ph");
+    if (ph == nullptr) {
+      continue;
+    }
+    if (ph->string_value == "s") {
+      start_id = event.Find("id")->number_value;
+      EXPECT_EQ(event.Find("ts")->number_value, 10000.0);  // parent delivery
+    } else if (ph->string_value == "f") {
+      finish_id = event.Find("id")->number_value;
+      EXPECT_EQ(event.Find("ts")->number_value, 25000.0);  // child delivery
+      EXPECT_EQ(event.Find("bp")->string_value, "e");
+    }
+  }
+  // Exactly one arrow, its two halves sharing one flow id.
+  EXPECT_GE(start_id, 0.0);
+  EXPECT_EQ(start_id, finish_id);
 }
 
 // ---------------------------------------------------------------------------

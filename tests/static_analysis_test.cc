@@ -434,6 +434,31 @@ TEST(ModelLint, FlagsGrammarOpsWithUnknownTargets) {
   EXPECT_EQ(LintModel(clean).CountOf("grammar-op-unknown-target"), 0);
 }
 
+TEST(ModelLint, FlagsPhantomComponentsAndUnspannedKilledRoles) {
+  // Synthetic offenders for the two directions of component grounding: a span
+  // charging dwell to a class that declares no methods, and a fuzz kill op for
+  // a role no component span covers (its recovery sweeps would be invisible
+  // to ctstat --top).
+  ProgramModel model = TinyModel();
+  model.AddSpan({"ghost-sweep", "Server.rpc", "component names nothing", "Ghost"});
+
+  ctmodel::GrammarOpDecl kill;
+  kill.name = "tiny.kill-server";
+  kill.kind = ctmodel::GrammarOpKind::kCrash;
+  kill.target_class = "Server";
+  kill.target_prefix = "srv";
+  model.AddGrammarOp(kill);
+
+  LintResult result = LintModel(model);
+  EXPECT_EQ(result.CountOf("component-without-span"), 2);
+
+  // Once a span names the killed role's declared class, both findings clear.
+  ProgramModel clean = TinyModel();
+  clean.AddSpan({"server-sweep", "Server.rpc", "covers the killed role", "Server"});
+  clean.AddGrammarOp(kill);
+  EXPECT_EQ(LintModel(clean).CountOf("component-without-span"), 0);
+}
+
 TEST(ModelLint, VirtualEdgeWithNoDispatchTargetIsDangling) {
   ProgramModel model = TinyModel();
   model.AddCallEdge({"Server.rpc", "Base.render", CallKind::kVirtual});

@@ -87,7 +87,9 @@ echo "== stage 4f: scale-out scheduler smoke (ladder queue vs legacy, --scale sw
 # BENCH_scale.json (the >=2x speedup bar is enforced only on >=4-hardware-
 # thread machines; single-core CI records the number without failing).
 # Byte-identical reports at --scale 8 across jobs=1/jobs=4 are asserted by
-# campaign_test's ScaleDeterminism suite in stage 2.
+# campaign_test's ScaleDeterminism suite in stage 2. Multi-core CI lanes can
+# export CRASHTUNER_ENFORCE_SPEEDUP=1 to pin the bar on regardless of what
+# hardware detection reports (and =0 to silence it on a loaded box).
 ./build/bench/bench_scale --json build/BENCH_scale.json 1 2 8 | tail -n 14
 
 echo "== stage 4g: fuzz smoke (coverage-guided grammar fuzzing, jobs=1 vs jobs=4) =="
@@ -98,6 +100,20 @@ echo "== stage 4g: fuzz smoke (coverage-guided grammar fuzzing, jobs=1 vs jobs=4
 # hardware threads jobs=4 must be >= 2x faster. Corpus size, new-coverage
 # count, and runs/sec land in BENCH_fuzz.json.
 ./build/bench/bench_fuzz --json build/BENCH_fuzz.json | tail -n 12
+
+echo "== stage 4h: flow tracing + dwell profile at scale (jobs=4, ZooKeeper) =="
+# Scale-8 ZooKeeper campaign twice — observation off, then spans + causal
+# flows + dossiers on — asserting report passivity, >= 50% of virtual time
+# attributed to the quorum-broadcast component, flow-DAG health, dossier
+# round trips, and <= 10% tracing wall overhead (enforced on >= 4 hardware
+# threads, CRASHTUNER_ENFORCE_SPEEDUP overrides). The profiler views then
+# run against the snapshot it wrote: ctstat --top (per-component dwell) and
+# --flows --check (delivery table + v2 schema validation).
+./build/bench/bench_obs_flows --json build/BENCH_obs_flows.json \
+  --metrics-out build/obs_flows_snapshot.json \
+  --dossier-dir build/dossiers 8 | tail -n 7
+./build/tools/ctstat build/obs_flows_snapshot.json --top | tail -n 6
+./build/tools/ctstat build/obs_flows_snapshot.json --flows --check | tail -n 10
 
 if [[ "$skip_sanitizers" == 1 ]]; then
   echo "== stages 5-6: sanitizers skipped =="

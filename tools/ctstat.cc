@@ -1,17 +1,27 @@
 // ctstat — render and validate campaign metrics snapshots.
 //
-//   ctstat <snapshot.json> [--check] [--json FILE]
+//   ctstat <snapshot.json> [--check] [--top] [--flows] [--json FILE]
 //
 // Reads a MetricsSnapshot written by --metrics-out (src/obs/snapshot.h) and
 // prints, per campaign: the phase latency table (count, sim-time p50/p95/p99
 // from the fixed-bucket histograms, wall-clock share of the campaign), the
 // injection/outcome counters, and the runs-per-second throughput line.
 //
-// --check validates the file instead of merely rendering it: schema tag,
+// --top answers "where does the virtual time go?": the per-component dwell
+// table built from the component.<span>.dwell_ms counters, each row's share
+// of the campaign's total virtual time (the run.virtual_ms histogram sum).
+//
+// --flows prints the causal message-flow statistics: delivered messages,
+// root sends, span-resolution rate, maximum causal chain depth, and the
+// per-method delivery table.
+//
+// --check validates the file instead of merely rendering it: schema tag
+// (crashtuner-metrics-v2; a v1 file is rejected with a versioned error),
 // non-empty system list, histogram shape (ascending bounds, counts ==
-// bounds+overflow, bucket counts summing to `count`), and wall-section
-// consistency. Exit code 0 only when every check passes — CI runs this on
-// the snapshot the observability stage produces.
+// bounds+overflow, bucket counts summing to `count`), span-tree shape
+// (parents precede children, indices in range), flow-section shape, and
+// wall-section consistency. Exit code 0 only when every check passes — CI
+// runs this on the snapshot the observability stage produces.
 //
 // --json FILE emits the BENCH_observability.json summary (runs/sec and
 // per-phase wall shares per campaign) the CI stage archives.
@@ -35,12 +45,32 @@ struct ParsedHistogram {
   ctobs::Histogram histogram = ctobs::Histogram();
 };
 
+struct ParsedSpanNode {
+  std::string path;
+  std::string name;
+  std::string component;
+  long long parent = -1;
+  unsigned long long count = 0;
+  unsigned long long sim_ms = 0;
+};
+
+struct ParsedFlows {
+  unsigned long long messages = 0;
+  unsigned long long roots = 0;
+  unsigned long long span_resolved = 0;
+  unsigned long long max_depth = 0;
+  unsigned long long records_dropped = 0;
+  std::map<std::string, unsigned long long> per_method;
+};
+
 struct ParsedSystem {
   std::string system;
   long long runs = 0;
   std::vector<std::pair<std::string, unsigned long long>> counters;
   std::vector<std::pair<std::string, long long>> gauges;
   std::vector<ParsedHistogram> histograms;
+  std::vector<ParsedSpanNode> span_tree;
+  ParsedFlows flows;
   bool has_wall = false;
   int jobs = 0;
   double campaign_seconds = 0;
@@ -142,7 +172,14 @@ ParsedSnapshot LoadSnapshot(const ctobs::JsonValue& root, Checker* checker) {
   const ctobs::JsonValue* schema = Require(root, "schema", "root", checker);
   if (schema != nullptr) {
     snapshot.schema = schema->string_value;
-    if (snapshot.schema != ctobs::kSnapshotSchema) {
+    if (snapshot.schema == ctobs::kSnapshotSchemaV1) {
+      checker->Fail("root", "schema is \"" + snapshot.schema +
+                                "\" — a v1 snapshot from an older build; this ctstat "
+                                "reads \"" +
+                                ctobs::kSnapshotSchema +
+                                "\" (span_tree + flows). Regenerate the snapshot with "
+                                "the current --metrics-out writer.");
+    } else if (snapshot.schema != ctobs::kSnapshotSchema) {
       checker->Fail("root", "schema is \"" + snapshot.schema + "\", expected \"" +
                                 ctobs::kSnapshotSchema + "\"");
     }
@@ -196,6 +233,88 @@ ParsedSnapshot LoadSnapshot(const ctobs::JsonValue& root, Checker* checker) {
         if (LoadHistogram(histogram_name, value, where + "." + histogram_name, checker,
                           &parsed)) {
           system.histograms.push_back(std::move(parsed));
+        }
+      }
+    }
+    const ctobs::JsonValue* span_tree = Require(json, "span_tree", where, checker);
+    if (span_tree != nullptr) {
+      if (!span_tree->is_array()) {
+        checker->Fail(where, "\"span_tree\" is not an array");
+      } else {
+        for (size_t n = 0; n < span_tree->array_items.size(); ++n) {
+          const ctobs::JsonValue& node_json = span_tree->array_items[n];
+          const std::string node_where = where + ".span_tree[" + std::to_string(n) + "]";
+          if (!node_json.is_object()) {
+            checker->Fail(node_where, "not an object");
+            continue;
+          }
+          ParsedSpanNode node;
+          if (const ctobs::JsonValue* path = Require(node_json, "path", node_where, checker)) {
+            node.path = path->string_value;
+          }
+          if (const ctobs::JsonValue* nm = Require(node_json, "name", node_where, checker)) {
+            node.name = nm->string_value;
+          }
+          if (const ctobs::JsonValue* component = node_json.Find("component")) {
+            node.component = component->string_value;
+          }
+          if (const ctobs::JsonValue* parent =
+                  Require(node_json, "parent", node_where, checker)) {
+            node.parent = static_cast<long long>(parent->number_value);
+          }
+          if (const ctobs::JsonValue* count = Require(node_json, "count", node_where, checker)) {
+            node.count = static_cast<unsigned long long>(count->number_value);
+          }
+          if (const ctobs::JsonValue* sim = Require(node_json, "sim_ms", node_where, checker)) {
+            node.sim_ms = static_cast<unsigned long long>(sim->number_value);
+          }
+          if (node.path.empty() || node.name.empty()) {
+            checker->Fail(node_where, "empty span path or name");
+          }
+          // Parents are emitted before their children, so a parent index must
+          // point strictly earlier in the array (or be -1 for a root).
+          if (node.parent < -1 || node.parent >= static_cast<long long>(n)) {
+            checker->Fail(node_where, "parent index " + std::to_string(node.parent) +
+                                          " does not precede node " + std::to_string(n));
+          }
+          system.span_tree.push_back(std::move(node));
+        }
+      }
+    }
+    const ctobs::JsonValue* flows = Require(json, "flows", where, checker);
+    if (flows != nullptr) {
+      if (!flows->is_object()) {
+        checker->Fail(where, "\"flows\" is not an object");
+      } else {
+        const std::string flow_where = where + ".flows";
+        auto load_flow_count = [&](const char* key, unsigned long long* out) {
+          if (const ctobs::JsonValue* value = Require(*flows, key, flow_where, checker)) {
+            if (value->number_value < 0) {
+              checker->Fail(flow_where, std::string("negative \"") + key + "\"");
+            }
+            *out = static_cast<unsigned long long>(value->number_value);
+          }
+        };
+        load_flow_count("messages", &system.flows.messages);
+        load_flow_count("roots", &system.flows.roots);
+        load_flow_count("span_resolved", &system.flows.span_resolved);
+        load_flow_count("max_depth", &system.flows.max_depth);
+        load_flow_count("records_dropped", &system.flows.records_dropped);
+        if (system.flows.roots > system.flows.messages ||
+            system.flows.span_resolved > system.flows.messages) {
+          checker->Fail(flow_where, "roots/span_resolved exceed total messages");
+        }
+        if (const ctobs::JsonValue* per_method =
+                Require(*flows, "per_method", flow_where, checker)) {
+          unsigned long long method_total = 0;
+          for (const auto& [method, count] : per_method->object_items) {
+            system.flows.per_method[method] =
+                static_cast<unsigned long long>(count.number_value);
+            method_total += system.flows.per_method[method];
+          }
+          if (method_total != system.flows.messages) {
+            checker->Fail(flow_where, "per_method counts do not sum to \"messages\"");
+          }
         }
       }
     }
@@ -291,6 +410,113 @@ void PrintSystem(const ParsedSystem& system) {
   }
 }
 
+// --top: the virtual-time profiler view. Every component-span open charges
+// the millis since the previous component mark to component.<span>.dwell_ms,
+// so the counters partition each run's virtual time across the declared
+// component sweeps; the share column divides by the campaign's total virtual
+// time (run.virtual_ms histogram sum).
+void PrintTop(const ParsedSystem& system) {
+  std::printf("\n%s — where does the virtual time go?\n", system.system.c_str());
+  unsigned long long total_virtual_ms = 0;
+  for (const ParsedHistogram& parsed : system.histograms) {
+    if (parsed.name == "run.virtual_ms") {
+      total_virtual_ms = parsed.histogram.sum();
+    }
+  }
+  struct TopRow {
+    std::string component;
+    unsigned long long dwell_ms = 0;
+    unsigned long long events = 0;
+  };
+  std::map<std::string, TopRow> rows;
+  const std::string prefix = "component.";
+  const std::string dwell_suffix = ".dwell_ms";
+  const std::string events_suffix = ".events";
+  for (const auto& [name, value] : system.counters) {
+    if (name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    if (name.size() > dwell_suffix.size() &&
+        name.compare(name.size() - dwell_suffix.size(), dwell_suffix.size(), dwell_suffix) ==
+            0) {
+      const std::string span =
+          name.substr(prefix.size(), name.size() - prefix.size() - dwell_suffix.size());
+      rows[span].dwell_ms = value;
+    } else if (name.size() > events_suffix.size() &&
+               name.compare(name.size() - events_suffix.size(), events_suffix.size(),
+                            events_suffix) == 0) {
+      const std::string span =
+          name.substr(prefix.size(), name.size() - prefix.size() - events_suffix.size());
+      rows[span].events = value;
+    }
+  }
+  // The span tree knows which role class each component span covers.
+  for (auto& [span, row] : rows) {
+    for (const ParsedSpanNode& node : system.span_tree) {
+      if (node.name == span && !node.component.empty()) {
+        row.component = node.component;
+        break;
+      }
+    }
+  }
+  if (rows.empty()) {
+    std::printf("  (no component spans recorded — run with observation on)\n");
+    return;
+  }
+  std::vector<std::pair<std::string, TopRow>> sorted(rows.begin(), rows.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second.dwell_ms != b.second.dwell_ms) {
+      return a.second.dwell_ms > b.second.dwell_ms;
+    }
+    return a.first < b.first;
+  });
+  std::printf("  total virtual time %llu ms across %lld runs\n", total_virtual_ms,
+              system.runs);
+  std::printf("  %-28s %-22s %12s %10s %8s\n", "component span", "role class", "dwell(ms)",
+              "events", "share");
+  for (const auto& [span, row] : sorted) {
+    char share_cell[16];
+    if (total_virtual_ms > 0) {
+      std::snprintf(share_cell, sizeof(share_cell), "%6.1f%%",
+                    100.0 * static_cast<double>(row.dwell_ms) /
+                        static_cast<double>(total_virtual_ms));
+    } else {
+      std::snprintf(share_cell, sizeof(share_cell), "%7s", "-");
+    }
+    std::printf("  %-28s %-22s %12llu %10llu %8s\n", span.c_str(), row.component.c_str(),
+                row.dwell_ms, row.events, share_cell);
+  }
+}
+
+// --flows: the causal message-flow summary reconstructed at delivery time.
+void PrintFlows(const ParsedSystem& system) {
+  std::printf("\n%s — causal message flows\n", system.system.c_str());
+  const ParsedFlows& flows = system.flows;
+  if (flows.messages == 0) {
+    std::printf("  (no flow records — run with observation on)\n");
+    return;
+  }
+  const double resolved_share =
+      100.0 * static_cast<double>(flows.span_resolved) / static_cast<double>(flows.messages);
+  std::printf("  deliveries %llu | roots %llu | span-resolved %llu (%.1f%%) | "
+              "max depth %llu | records dropped %llu\n",
+              flows.messages, flows.roots, flows.span_resolved, resolved_share,
+              flows.max_depth, flows.records_dropped);
+  std::vector<std::pair<std::string, unsigned long long>> methods(flows.per_method.begin(),
+                                                                  flows.per_method.end());
+  std::sort(methods.begin(), methods.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;
+    }
+    return a.first < b.first;
+  });
+  std::printf("  %-40s %12s %8s\n", "method", "deliveries", "share");
+  for (const auto& [method, count] : methods) {
+    std::printf("  %-40s %12llu %7.1f%%\n", method.c_str(), count,
+                100.0 * static_cast<double>(count) / static_cast<double>(flows.messages));
+  }
+}
+
 bool WriteSummaryJson(const ParsedSnapshot& snapshot, const std::string& path) {
   std::ofstream out(path);
   if (!out) {
@@ -324,21 +550,29 @@ int main(int argc, char** argv) {
   std::string snapshot_path;
   std::string json_path;
   bool check = false;
+  bool top = false;
+  bool show_flows = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--check") {
       check = true;
+    } else if (arg == "--top") {
+      top = true;
+    } else if (arg == "--flows") {
+      show_flows = true;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "usage: ctstat <snapshot.json> [--check] [--json FILE]\n");
+      std::fprintf(stderr,
+                   "usage: ctstat <snapshot.json> [--check] [--top] [--flows] [--json FILE]\n");
       return 2;
     } else {
       snapshot_path = arg;
     }
   }
   if (snapshot_path.empty()) {
-    std::fprintf(stderr, "usage: ctstat <snapshot.json> [--check] [--json FILE]\n");
+    std::fprintf(stderr,
+                 "usage: ctstat <snapshot.json> [--check] [--top] [--flows] [--json FILE]\n");
     return 2;
   }
 
@@ -360,7 +594,17 @@ int main(int argc, char** argv) {
   }
 
   for (const ParsedSystem& system : snapshot.systems) {
-    PrintSystem(system);
+    if (top || show_flows) {
+      // Focused profiler views replace the full report.
+      if (top) {
+        PrintTop(system);
+      }
+      if (show_flows) {
+        PrintFlows(system);
+      }
+    } else {
+      PrintSystem(system);
+    }
   }
 
   if (!json_path.empty()) {
